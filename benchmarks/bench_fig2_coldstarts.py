@@ -1,0 +1,31 @@
+"""Bench: regenerate Fig. 2 (cold starts vs. memory and intensity).
+
+Expected shapes: baseline cold starts grow with intensity and barely
+depend on memory; our FIFO's cold starts vanish from 32 GiB.
+"""
+
+from repro.experiments.fig2_coldstarts import run_fig2
+
+
+def test_fig2_cold_start_sweep(run_once, full_protocol):
+    if full_protocol:
+        result = run_once(run_fig2)
+    else:
+        result = run_once(
+            run_fig2,
+            memories_mb=(4096, 16384, 32768, 131072),
+            intensities=(30, 120),
+        )
+    print()
+    print(result.render())
+
+    # Baseline at intensity 120: high cold-start share at every memory size.
+    for memory, colds in result.series("baseline", 120):
+        assert colds > 0.5 * result.totals[120], (memory, colds)
+    # Our FIFO at >= 32 GiB: no cold starts at any intensity.
+    for intensity in result.totals:
+        for memory, colds in result.series("FIFO", intensity):
+            if memory >= 32768:
+                assert colds == 0, (memory, intensity, colds)
+    # Our FIFO at small memory: evictions resurface as cold starts.
+    assert result.series("FIFO", 120)[0][1] > 0

@@ -1,0 +1,34 @@
+"""Bench: regenerate Fig. 3 (response-time boxes, {10,20}c x {30,40,60}v).
+
+Expected shape per panel: baseline and FIFO boxes sit far above SEPT/FC;
+SEPT/FC medians stay near idle response times.
+"""
+
+from repro.experiments.artifacts import fig3_from_grid
+from repro.experiments.grid import GridSpec, run_grid
+
+
+def test_fig3_response_time_boxes(run_once, full_protocol):
+    spec = GridSpec(
+        cores=(10, 20),
+        intensities=(30, 40, 60),
+        strategies=("baseline", "FIFO", "SEPT", "EECT", "RECT", "FC"),
+        seeds=(1, 2, 3, 4, 5) if full_protocol else (1,),
+    )
+    grid = run_once(run_grid, spec)
+    figure = fig3_from_grid(grid)
+    print()
+    print(figure.render())
+
+    for cores in (10, 20):
+        for intensity in (40, 60):
+            fifo = figure.boxes[(cores, intensity, "FIFO")]
+            sept = figure.boxes[(cores, intensity, "SEPT")]
+            fc = figure.boxes[(cores, intensity, "FC")]
+            assert sept.median < fifo.median, (cores, intensity)
+            assert fc.median < fifo.median, (cores, intensity)
+    # Baseline is the worst box at 20 cores (paper Sect. VII-C).
+    for intensity in (30, 40, 60):
+        base = figure.boxes[(20, intensity, "baseline")]
+        fifo = figure.boxes[(20, intensity, "FIFO")]
+        assert base.mean > fifo.mean, intensity

@@ -1,0 +1,33 @@
+"""Bench: regenerate Fig. 4 (stretch boxes, same sub-grid as Fig. 3).
+
+Expected shape: the SEPT/FC stretch boxes sit 1-2 orders of magnitude
+below FIFO's; the baseline's average stretch is the largest at 20 cores.
+"""
+
+from repro.experiments.artifacts import fig4_from_grid
+from repro.experiments.grid import GridSpec, run_grid
+
+
+def test_fig4_stretch_boxes(run_once, full_protocol):
+    spec = GridSpec(
+        cores=(10, 20),
+        intensities=(30, 40, 60),
+        strategies=("baseline", "FIFO", "SEPT", "EECT", "RECT", "FC"),
+        seeds=(1, 2, 3, 4, 5) if full_protocol else (1,),
+    )
+    grid = run_once(run_grid, spec)
+    figure = fig4_from_grid(grid)
+    print()
+    print(figure.render())
+
+    for cores in (10, 20):
+        for intensity in (40, 60):
+            fifo = figure.boxes[(cores, intensity, "FIFO")]
+            sept = figure.boxes[(cores, intensity, "SEPT")]
+            fc = figure.boxes[(cores, intensity, "FC")]
+            assert sept.mean < 0.5 * fifo.mean, (cores, intensity)
+            assert fc.mean < 0.5 * fifo.mean, (cores, intensity)
+    for intensity in (30, 40, 60):
+        base = figure.boxes[(20, intensity, "baseline")]
+        fifo = figure.boxes[(20, intensity, "FIFO")]
+        assert base.mean > fifo.mean, intensity

@@ -1,0 +1,30 @@
+"""Bench: regenerate Fig. 6 / Tables V-VI (multi-node experiments).
+
+Expected shape (the paper's capacity-reduction headline): FC on 3 VMs
+beats the baseline on 4 VMs on the average and the 75th percentile; FC
+on 2 VMs still wins the average but loses the extreme tail.
+"""
+
+from repro.experiments.fig6_multinode import run_fig6
+
+
+def test_fig6_multinode_sweep(run_once, full_protocol):
+    seeds = (1, 2, 3, 4, 5) if full_protocol else (1,)
+    result = run_once(run_fig6, cores_per_node=18, seeds=seeds)
+    print()
+    print(result.render())
+
+    base4_avg = result.stat(4, "baseline", "avg")
+    base4_p75 = result.stat(4, "baseline", "p75")
+    # FC on 3 VMs beats baseline on 4 VMs (paper: -71% avg, -97% p75).
+    assert result.stat(3, "FC", "avg") < base4_avg
+    assert result.stat(3, "FC", "p75") < base4_p75
+    # FC on 2 VMs still wins the average (paper: -58%).
+    assert result.stat(2, "FC", "avg") < base4_avg
+    # Fewer FC nodes -> monotonically slower FC.
+    assert (
+        result.stat(4, "FC", "avg")
+        <= result.stat(3, "FC", "avg")
+        <= result.stat(2, "FC", "avg")
+        <= result.stat(1, "FC", "avg")
+    )

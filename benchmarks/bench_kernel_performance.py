@@ -1,0 +1,80 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+Not a paper artifact: these track the DES kernel's raw performance so
+that regressions in the hot paths (event calendar, processor-sharing
+rebalance, priority queue) show up before they slow every experiment.
+"""
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.scheduling.queue import StablePriorityQueue
+from repro.sim import Environment, SharedCPU
+
+
+def test_kernel_event_throughput(benchmark):
+    """Chained timeout events: the kernel's minimal event cycle."""
+
+    def run_chain():
+        env = Environment()
+
+        def proc(env):
+            for _ in range(20_000):
+                yield env.timeout(0.001)
+
+        env.process(proc(env))
+        env.run()
+        return env.now
+
+    result = benchmark(run_chain)
+    assert result > 0
+
+
+def test_processor_sharing_rebalance(benchmark):
+    """Churn on a shared CPU bank: arrivals/departures force rebalances."""
+
+    def run_bank():
+        env = Environment()
+        cpu = SharedCPU(env, cores=8)
+
+        def submit(env, start, work):
+            yield env.timeout(start)
+            task = cpu.execute(work)
+            yield task.event
+
+        rng = np.random.default_rng(0)
+        for start, work in zip(rng.uniform(0, 50, 2000), rng.uniform(0.01, 2.0, 2000)):
+            env.process(submit(env, float(start), float(work)))
+        env.run()
+        return cpu.delivered_work
+
+    delivered = benchmark(run_bank)
+    assert delivered > 0
+
+
+def test_priority_queue_throughput(benchmark):
+    """Push/pop cycles on the invoker's stable priority queue."""
+    rng = np.random.default_rng(1)
+    priorities = rng.uniform(0, 100, 50_000)
+
+    def churn():
+        queue = StablePriorityQueue()
+        for priority in priorities:
+            queue.push(float(priority), None)
+        while queue:
+            queue.pop()
+
+    benchmark(churn)
+
+
+def test_full_experiment_wall_time(benchmark):
+    """End-to-end cost of one loaded single-node experiment (the unit of
+    work every grid cell pays)."""
+
+    def one_cell():
+        cfg = ExperimentConfig(cores=10, intensity=60, policy="FC", seed=1)
+        return run_experiment(cfg)
+
+    result = benchmark(one_cell)
+    assert len(result.records) == 660

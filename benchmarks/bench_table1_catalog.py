@@ -1,0 +1,21 @@
+"""Bench: regenerate Table I (idle-system SeBS function benchmark).
+
+Expected: measured 5th/50th/95th client percentiles match the paper's
+Table I within a few milliseconds (the workload model is fitted to it).
+"""
+
+import pytest
+
+from repro.experiments.paper_data import TABLE1_MEDIANS_MS
+from repro.experiments.table1 import run_table1
+
+
+def test_table1_idle_benchmark(run_once, full_protocol):
+    calls = 50 if full_protocol else 25
+    result = run_once(run_table1, calls_per_function=calls)
+    print()
+    print(result.render())
+    # The measured median must stay within 10% + 5 ms of Table I.
+    for name, (_, paper_p50_ms, _) in TABLE1_MEDIANS_MS.items():
+        measured_ms = result.percentiles[name][1] * 1e3
+        assert measured_ms == pytest.approx(paper_p50_ms, rel=0.10, abs=5.0), name

@@ -1,0 +1,27 @@
+"""Bench: regenerate Table II (FIFO-to-baseline makespan ratios).
+
+Expected shape: ratio > 1 at 5 cores / low intensity (the baseline's I/O
+overlap wins — the paper's crossover) and well below 1 at 20 cores
+(container-management overheads crush the baseline).
+"""
+
+from repro.experiments.artifacts import table2_from_grid
+from repro.experiments.grid import GridSpec, run_grid
+
+
+def test_table2_makespan_ratios(run_once, full_protocol):
+    spec = GridSpec(
+        cores=(5, 10, 20),
+        intensities=(30, 40, 60, 90, 120) if full_protocol else (30, 120),
+        strategies=("baseline", "FIFO"),
+        seeds=(1, 2, 3, 4, 5) if full_protocol else (1, 2),
+    )
+    grid = run_once(run_grid, spec)
+    table = table2_from_grid(grid)
+    print()
+    print(table.render())
+
+    lo_5_30, _ = table.ranges[(5, 30)]
+    assert lo_5_30 > 0.95  # baseline competitive (paper: 1.14-1.20)
+    _, hi_20_120 = table.ranges[(20, 120)]
+    assert hi_20_120 < 0.8  # our FIFO clearly faster (paper: 0.55-0.58)

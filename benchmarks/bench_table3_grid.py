@@ -1,0 +1,38 @@
+"""Bench: regenerate Table III (the aggregated numeric grid) and print a
+paper-vs-measured comparison for every cell run.
+
+Expected shape: per-cell strategy ordering matches the paper — in loaded
+configurations FC/SEPT < EECT/RECT < FIFO < baseline on mean response
+time (baseline only competitive at 5-10 cores and low intensity).
+"""
+
+from repro.experiments.artifacts import table3_from_grid
+from repro.experiments.grid import GridSpec, run_grid
+
+
+def test_table3_numeric_grid(run_once, full_protocol):
+    spec = GridSpec(
+        cores=(5, 10, 20) if full_protocol else (10, 20),
+        intensities=(30, 40, 60, 90, 120) if full_protocol else (30, 60, 120),
+        strategies=("baseline", "FIFO", "SEPT", "EECT", "RECT", "FC"),
+        seeds=(1, 2, 3, 4, 5) if full_protocol else (1,),
+    )
+    grid = run_once(run_grid, spec)
+    table = table3_from_grid(grid)
+    print()
+    print(table.render())
+    print()
+    print(table.render_comparison())
+
+    # Ordering checks on the heavily loaded cells.
+    for cores in spec.cores:
+        for intensity in spec.intensities:
+            if cores * intensity < 1200:
+                continue  # lightly loaded: orderings may tie
+            base = grid.summary(cores, intensity, "baseline").mean_response_time
+            fifo = grid.summary(cores, intensity, "FIFO").mean_response_time
+            sept = grid.summary(cores, intensity, "SEPT").mean_response_time
+            fc = grid.summary(cores, intensity, "FC").mean_response_time
+            assert sept < fifo and fc < fifo, (cores, intensity)
+            if cores >= 20:
+                assert base > fifo, (cores, intensity)

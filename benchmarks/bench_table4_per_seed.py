@@ -1,0 +1,34 @@
+"""Bench: regenerate Table IV (per-seed rows) and, by extension, the
+appendix Figures 7-36 (per-seed distributions of response time/stretch).
+
+Expected shape: the paper notes "the variance between repetitions is
+small" — per-seed means of a cell stay within a small factor of each
+other.
+"""
+
+import numpy as np
+
+from repro.experiments.artifacts import table3_from_grid
+from repro.experiments.grid import GridSpec, run_grid
+
+
+def test_table4_per_seed_rows(run_once, full_protocol):
+    spec = GridSpec(
+        cores=(10,),
+        intensities=(30, 60) if not full_protocol else (30, 40, 60, 90, 120),
+        strategies=("baseline", "FIFO", "SEPT", "FC"),
+        seeds=(1, 2, 3, 4, 5),
+    )
+    grid = run_once(run_grid, spec)
+    table = table3_from_grid(grid, per_seed=True)
+    print()
+    print(table.render())
+
+    # Low cross-seed variance for our policies (paper Sect. VII intro).
+    for intensity in spec.intensities:
+        for strategy in ("FIFO", "SEPT", "FC"):
+            means = [
+                s.mean_response_time
+                for s in grid.per_seed_summaries(10, intensity, strategy)
+            ]
+            assert max(means) < 3.0 * min(means), (intensity, strategy, means)

@@ -1,0 +1,47 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables or figures and
+prints a paper-vs-measured report.  By default the scaled-down (quick)
+protocol runs — one seed, reduced sweeps — so the whole suite finishes in
+a few minutes.  Set ``REPRO_FULL=1`` to run the paper's full protocol
+(5 seeds, full grids); expect a much longer run.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+#: Where each bench's rendered paper-vs-measured report lands (pytest
+#: captures stdout, so the tables would otherwise be invisible in a
+#: non-verbose run).
+REPORTS_DIR = Path(__file__).parent / "reports"
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call" and getattr(report, "capstdout", ""):
+        REPORTS_DIR.mkdir(exist_ok=True)
+        (REPORTS_DIR / f"{item.name}.txt").write_text(report.capstdout)
+
+
+@pytest.fixture(scope="session")
+def full_protocol() -> bool:
+    """True when the full paper protocol was requested."""
+    return os.environ.get("REPRO_FULL", "0") not in ("", "0", "false")
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a long-running experiment exactly once under pytest-benchmark."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Extending the library: plug in a custom scheduling policy.
+
+The invoker accepts any :class:`repro.SchedulingPolicy` subclass.  This
+example implements *Weighted SEPT* — ``E(p(i)) / (1 + age_bonus)`` style
+aging that bounds starvation while keeping shortest-first behaviour —
+and benchmarks it against the paper's policies on a loaded node.
+
+Run:
+    python examples/custom_policy.py
+"""
+
+from repro import ExperimentConfig, SchedulingPolicy, run_experiment
+from repro.experiments.runner import ExperimentResult
+from repro.metrics.report import render_summary_table
+from repro.node.invoker import Invoker
+from repro.cluster.platform import FaaSPlatform
+from repro.scheduling.estimator import RuntimeEstimator
+from repro.sim.core import Environment
+from repro.sim.rng import RngRegistry
+from repro.workload.functions import sebs_catalog
+from repro.workload.scenarios import uniform_burst
+
+CORES = 10
+INTENSITY = 60
+SEED = 1
+
+
+class AgingSept(SchedulingPolicy):
+    """SEPT with linear aging: priority = E(p) - aging_rate * r'(i).
+
+    Older calls gradually outrank newer short ones, so no call starves,
+    at a small cost in mean response time versus pure SEPT.
+    """
+
+    name = "AGING-SEPT"
+    starvation_free = True  # priority decreases without bound over time
+
+    def __init__(self, estimator: RuntimeEstimator, aging_rate: float = 0.02) -> None:
+        super().__init__(estimator)
+        self.aging_rate = aging_rate
+
+    def priority(self, request, received_at: float) -> float:
+        estimate = self.estimator.expected_processing_time(request.function.name)
+        return estimate - self.aging_rate * received_at
+
+
+def run_custom(policy: SchedulingPolicy) -> ExperimentResult:
+    """Run the standard burst against an invoker using *policy*."""
+    env = Environment()
+    rngs = RngRegistry(SEED)
+    config = ExperimentConfig(cores=CORES, intensity=INTENSITY, seed=SEED)
+    invoker = Invoker(env, config.node_config(), policy=policy, name="custom-node")
+    invoker.warm_up(sebs_catalog())
+    scenario = uniform_burst(CORES, INTENSITY, rngs.get("scenario"))
+    platform = FaaSPlatform(env, [invoker])
+    records = platform.run_scenario(scenario)
+    return ExperimentResult(config=config, records=records, node_stats=[])
+
+
+def main() -> None:
+    entries = []
+    for policy in ("FIFO", "SEPT", "FC"):
+        config = ExperimentConfig(
+            cores=CORES, intensity=INTENSITY, policy=policy, seed=SEED
+        )
+        entries.append((policy, run_experiment(config).summary()))
+
+    custom = AgingSept(RuntimeEstimator())
+    entries.append((custom.name, run_custom(custom).summary()))
+
+    print(
+        render_summary_table(
+            entries,
+            title=f"Custom policy vs. paper policies ({CORES} cores, intensity {INTENSITY})",
+        )
+    )
+    print(
+        "\nAGING-SEPT trades a little mean response time for a starvation "
+        "bound — compare its p99 with SEPT's."
+    )
+
+
+if __name__ == "__main__":
+    main()

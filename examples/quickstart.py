@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Quickstart: compare all node-level scheduling policies on one burst.
+
+Simulates a 10-core FaaS worker node under the paper's intensity-60
+burst (660 requests over 60 seconds, 11 SeBS functions) for the stock
+OpenWhisk baseline and the five policies of the paper, and prints the
+response-time / stretch statistics the paper reports.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import ExperimentConfig, run_experiment
+from repro.metrics.report import render_summary_table
+
+CORES = 10
+INTENSITY = 60
+SEED = 1
+
+
+def main() -> None:
+    print(
+        f"Simulating a {CORES}-core worker node, intensity {INTENSITY} "
+        f"({int(1.1 * CORES * INTENSITY)} requests in a 60 s burst)\n"
+    )
+    entries = []
+    for policy in ("baseline", "FIFO", "SEPT", "EECT", "RECT", "FC"):
+        config = ExperimentConfig(
+            cores=CORES, intensity=INTENSITY, policy=policy, seed=SEED
+        )
+        result = run_experiment(config)
+        entries.append((policy, result.summary()))
+
+    print(render_summary_table(entries, title="Response time [s] and stretch per policy"))
+
+    base, fc = dict(entries)["baseline"], dict(entries)["FC"]
+    print(
+        f"\nFair-Choice vs. stock OpenWhisk on this burst:\n"
+        f"  average response time: {base.mean_response_time:7.1f} s -> "
+        f"{fc.mean_response_time:6.1f} s "
+        f"({base.mean_response_time / fc.mean_response_time:.1f}x better)\n"
+        f"  average stretch:       {base.mean_stretch:7.0f}   -> "
+        f"{fc.mean_stretch:6.0f}   "
+        f"({base.mean_stretch / fc.mean_stretch:.1f}x better)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+This offline environment lacks the ``wheel`` package that PEP-517 editable
+installs require, so ``pip install -e .`` falls back to this shim
+(``python setup.py develop`` also works directly).  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,109 @@
+"""Command-line interface.
+
+Examples
+--------
+List the reproducible artifacts::
+
+    faas-sched list
+
+Reproduce an artifact (scaled-down)::
+
+    faas-sched run fig6
+
+Reproduce the paper's full protocol for one artifact::
+
+    faas-sched run table3 --full
+
+Run a single ad-hoc experiment::
+
+    faas-sched simulate --cores 10 --intensity 60 --policy SEPT --seed 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.registry import EXPERIMENTS, run_registered
+from repro.experiments.runner import run_experiment
+from repro.metrics.report import render_summary_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="faas-sched",
+        description=(
+            "Reproduction of 'Call Scheduling to Reduce Response Time of a "
+            "FaaS System' (CLUSTER 2022)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible paper artifacts")
+
+    run = sub.add_parser("run", help="reproduce a paper artifact")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS), help="artifact id")
+    run.add_argument(
+        "--full",
+        action="store_true",
+        help="run the paper's full protocol (all seeds/sweeps); slower",
+    )
+
+    sim = sub.add_parser("simulate", help="run one ad-hoc single-node experiment")
+    sim.add_argument("--cores", type=int, default=10)
+    sim.add_argument("--intensity", type=int, default=30)
+    sim.add_argument(
+        "--policy",
+        default="FIFO",
+        choices=["baseline", "FIFO", "SEPT", "EECT", "RECT", "FC"],
+    )
+    sim.add_argument("--seed", type=int, default=1)
+    sim.add_argument("--memory-mb", type=int, default=32768)
+    sim.add_argument(
+        "--scenario", default="uniform", choices=["uniform", "skewed", "azure"]
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        width = max(len(eid) for eid in EXPERIMENTS)
+        for eid, (description, _) in EXPERIMENTS.items():
+            print(f"{eid.ljust(width)}  {description}")
+        return 0
+
+    if args.command == "run":
+        print(run_registered(args.experiment, quick=not args.full))
+        return 0
+
+    if args.command == "simulate":
+        cfg = ExperimentConfig(
+            cores=args.cores,
+            intensity=args.intensity,
+            policy=args.policy,
+            seed=args.seed,
+            memory_mb=args.memory_mb,
+            scenario=args.scenario,
+        )
+        result = run_experiment(cfg)
+        print(render_summary_table([(cfg.label(), result.summary())]))
+        stats = result.node_stats[0]
+        print(
+            f"\ncold starts: {stats['cold_starts']}  evictions: {stats['evictions']}  "
+            f"hot hits: {stats['hot_hits']}  warm hits: {stats['warm_hits']}\n"
+            f"cpu utilization: {stats['cpu_utilization']:.2f}  "
+            f"daemon utilization: {stats['daemon_utilization']:.2f}"
+        )
+        return 0
+
+    return 1  # pragma: no cover - argparse enforces commands
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

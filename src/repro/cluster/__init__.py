@@ -1,0 +1,32 @@
+"""Cluster layer: request routing from clients to worker nodes.
+
+* :mod:`repro.cluster.network` — client ↔ platform latency (the ≈10 ms
+  controller/Kafka overhead included in the paper's Table I);
+* :mod:`repro.cluster.controller` — load balancers assigning calls to
+  invokers (round-robin, least-loaded, OpenWhisk-like hash-with-overflow);
+* :mod:`repro.cluster.platform` — the :class:`FaaSPlatform` façade that
+  drives a scenario through the controller and invokers and collects
+  client-side :class:`~repro.metrics.records.CallRecord`\\ s.
+"""
+
+from repro.cluster.controller import (
+    BALANCERS,
+    HashOverflowBalancer,
+    LeastLoadedBalancer,
+    LoadBalancer,
+    RoundRobinBalancer,
+    make_balancer,
+)
+from repro.cluster.network import NetworkModel
+from repro.cluster.platform import FaaSPlatform
+
+__all__ = [
+    "BALANCERS",
+    "FaaSPlatform",
+    "HashOverflowBalancer",
+    "LeastLoadedBalancer",
+    "LoadBalancer",
+    "NetworkModel",
+    "RoundRobinBalancer",
+    "make_balancer",
+]

@@ -1,0 +1,123 @@
+"""The OpenWhisk controller's load-balancing role.
+
+The paper does not modify the controller; its multi-node experiments use
+the stock assignment of invocations to invokers.  We provide three
+balancers:
+
+* :class:`RoundRobinBalancer` — cyclic assignment;
+* :class:`LeastLoadedBalancer` — fewest outstanding calls (ties by index);
+* :class:`HashOverflowBalancer` — OpenWhisk's sharding-pool flavour: each
+  function has a *home* invoker (hash of its name); when the home's
+  outstanding work exceeds a capacity factor the call spills to the next
+  invoker in a deterministic ring.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Protocol, Sequence, Type
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.workload.generator import Request
+
+__all__ = [
+    "LoadBalancer",
+    "RoundRobinBalancer",
+    "LeastLoadedBalancer",
+    "HashOverflowBalancer",
+    "BALANCERS",
+    "make_balancer",
+]
+
+
+class LoadBalancer:
+    """Base class: picks an invoker index for each request.
+
+    When given a ``list``, the balancer keeps the *reference*: an
+    autoscaler may append invokers mid-run and they become routable
+    immediately.
+    """
+
+    name = ""
+
+    def __init__(self, invokers: Sequence) -> None:
+        if not invokers:
+            raise ValueError("need at least one invoker")
+        self.invokers = invokers if isinstance(invokers, list) else list(invokers)
+
+    def pick(self, request: "Request") -> int:
+        raise NotImplementedError
+
+
+class RoundRobinBalancer(LoadBalancer):
+    name = "round-robin"
+
+    def __init__(self, invokers: Sequence) -> None:
+        super().__init__(invokers)
+        self._next = 0
+
+    def pick(self, request: "Request") -> int:
+        index = self._next
+        self._next = (self._next + 1) % len(self.invokers)
+        return index
+
+
+class LeastLoadedBalancer(LoadBalancer):
+    name = "least-loaded"
+
+    def pick(self, request: "Request") -> int:
+        return min(
+            range(len(self.invokers)), key=lambda i: (self.invokers[i].outstanding, i)
+        )
+
+
+class HashOverflowBalancer(LoadBalancer):
+    """Home invoker by function-name hash, spill on overload.
+
+    ``capacity_factor`` scales each node's nominal concurrency (its core
+    count) into an outstanding-call threshold above which the balancer
+    tries the next invoker on the ring; if every invoker is above its
+    threshold the least-loaded one is used.
+    """
+
+    name = "hash-overflow"
+
+    def __init__(self, invokers: Sequence, capacity_factor: float = 2.0) -> None:
+        super().__init__(invokers)
+        if capacity_factor <= 0:
+            raise ValueError("capacity_factor must be positive")
+        self.capacity_factor = capacity_factor
+
+    def _threshold(self, invoker) -> float:
+        return self.capacity_factor * invoker.config.cores
+
+    def pick(self, request: "Request") -> int:
+        n = len(self.invokers)
+        home = _stable_hash(request.function.name) % n
+        for step in range(n):
+            index = (home + step) % n
+            if self.invokers[index].outstanding < self._threshold(self.invokers[index]):
+                return index
+        return min(range(n), key=lambda i: (self.invokers[i].outstanding, i))
+
+
+#: Registry of balancer flavours by name.
+BALANCERS: Dict[str, Type[LoadBalancer]] = {
+    cls.name: cls
+    for cls in (RoundRobinBalancer, LeastLoadedBalancer, HashOverflowBalancer)
+}
+
+
+def make_balancer(name: str, invokers: Sequence, **kwargs) -> LoadBalancer:
+    cls = BALANCERS.get(name)
+    if cls is None:
+        raise KeyError(f"unknown balancer {name!r}; available: {sorted(BALANCERS)}")
+    return cls(invokers, **kwargs)
+
+
+def _stable_hash(name: str) -> int:
+    """Process-independent 32-bit FNV-1a (Python's hash() is salted)."""
+    value = 0x811C9DC5
+    for byte in name.encode("utf-8"):
+        value ^= byte
+        value = (value * 0x01000193) & 0xFFFFFFFF
+    return value

@@ -1,0 +1,90 @@
+"""The FaaS platform façade: clients → controller → invokers → responses.
+
+Mirrors the paper's Fig. 1 request flow: Gatling (the client generator)
+sends blocking HTTP requests through NGINX/controller/Kafka to an
+invoker's action containers; the connection stays open until the result
+returns.  :class:`FaaSPlatform` drives a
+:class:`~repro.workload.generator.BurstScenario` through that pipeline
+and produces client-side :class:`~repro.metrics.records.CallRecord`\\ s.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence, Union
+
+from repro.cluster.controller import LoadBalancer, LeastLoadedBalancer
+from repro.cluster.network import NetworkModel
+from repro.metrics.records import CallRecord
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.core import Environment
+    from repro.node.baseline import BaselineInvoker
+    from repro.node.invoker import Invoker
+    from repro.workload.generator import BurstScenario, Request
+
+__all__ = ["FaaSPlatform"]
+
+AnyInvoker = Union["Invoker", "BaselineInvoker"]
+
+
+class FaaSPlatform:
+    """One controller, one or more invokers, and a client generator."""
+
+    #: Grace period (seconds) granted after the last response for trailing
+    #: background activity (container pauses, removals) to settle.
+    DRAIN_GRACE_S = 30.0
+
+    def __init__(
+        self,
+        env: "Environment",
+        invokers: Sequence[AnyInvoker],
+        balancer: Optional[LoadBalancer] = None,
+        network: Optional[NetworkModel] = None,
+    ) -> None:
+        if not invokers:
+            raise ValueError("need at least one invoker")
+        self.env = env
+        # Keep the caller's (possibly live) list: an autoscaler may append
+        # invokers while a scenario is in flight.
+        self.invokers = invokers if isinstance(invokers, list) else list(invokers)
+        self.balancer = balancer if balancer is not None else LeastLoadedBalancer(self.invokers)
+        self.network = network if network is not None else NetworkModel()
+        self.records: List[CallRecord] = []
+        self._pending = 0
+        self._all_done: Optional[Event] = None
+
+    # ------------------------------------------------------------------
+    def run_scenario(self, scenario: "BurstScenario") -> List[CallRecord]:
+        """Inject every request of *scenario*, run to completion, and
+        return the call records sorted by request id."""
+        if not len(scenario):
+            return []
+        self._pending = len(scenario)
+        self._all_done = Event(self.env)
+        for request in scenario:
+            self.env.process(self._client_call(request))
+        self.env.run(until=self._all_done)
+        # Drain trailing background activity (container pauses etc.) so
+        # back-to-back scenarios start from a quiet node.  Bounded, because
+        # long-lived control loops (e.g. an autoscaler) keep the calendar
+        # populated forever.
+        self.env.run(until=self.env.now + self.DRAIN_GRACE_S)
+        self.records.sort(key=lambda r: r.rid)
+        return self.records
+
+    # ------------------------------------------------------------------
+    def _client_call(self, request: "Request"):
+        env = self.env
+        if request.release_time > env.now:
+            yield env.timeout(request.release_time - env.now)
+        # Request leg: client -> controller/Kafka -> invoker.
+        yield env.timeout(self.network.request_delay())
+        index = self.balancer.pick(request)
+        info = yield self.invokers[index].submit(request)
+        # Response leg: invoker -> client.
+        yield env.timeout(self.network.response_delay())
+        self.records.append(CallRecord.from_node_info(info, env.now))
+        self._pending -= 1
+        if self._pending == 0 and self._all_done is not None:
+            self._all_done.succeed()

@@ -1,0 +1,20 @@
+"""Experiment harness: configuration, runner, and one module per paper
+artifact (tables and figures).  See DESIGN.md §4 for the full index.
+"""
+
+from repro.experiments.config import ExperimentConfig, MultiNodeConfig
+from repro.experiments.runner import (
+    ExperimentResult,
+    run_experiment,
+    run_multi_node_experiment,
+    run_repetitions,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "MultiNodeConfig",
+    "run_experiment",
+    "run_multi_node_experiment",
+    "run_repetitions",
+]

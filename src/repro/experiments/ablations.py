@@ -1,0 +1,137 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+These go beyond the paper's artifacts; each isolates one mechanism:
+
+* estimator window size (the paper fixes 10, citing [18]);
+* Fair-Choice frequency horizon ``T`` (the paper suggests 60 s);
+* busy-limit over-provisioning (re-introducing CPU oversubscription,
+  i.e. undoing Sect. IV-A);
+* cold-start cost sensitivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.metrics.report import format_table
+
+__all__ = [
+    "ablate_estimator_window",
+    "ablate_fc_horizon",
+    "ablate_busy_limit",
+    "ablate_cold_start_cost",
+    "AblationResult",
+]
+
+
+@dataclass
+class AblationResult:
+    """Rows of (parameter value, mean response time, mean stretch, p95)."""
+
+    name: str
+    parameter: str
+    rows: List[Tuple[object, float, float, float]]
+
+    def render(self) -> str:
+        return format_table(
+            [self.parameter, "R.avg [s]", "S.avg", "R.p95 [s]"],
+            self.rows,
+            title=f"Ablation — {self.name}",
+        )
+
+
+def _measure(cfg: ExperimentConfig) -> Tuple[float, float, float]:
+    stats = run_experiment(cfg).summary()
+    return (
+        stats.mean_response_time,
+        stats.mean_stretch,
+        stats.response_time_percentiles[95],
+    )
+
+
+def ablate_estimator_window(
+    windows: Sequence[int] = (1, 3, 10, 50),
+    cores: int = 10,
+    intensity: int = 60,
+    policy: str = "SEPT",
+    seed: int = 1,
+) -> AblationResult:
+    """How much history does SEPT need?  The paper (after [18]) uses 10."""
+    rows = []
+    for window in windows:
+        cfg = ExperimentConfig(
+            cores=cores,
+            intensity=intensity,
+            policy=policy,
+            seed=seed,
+            node_overrides=(("estimator_window", window),),
+        )
+        rows.append((window, *_measure(cfg)))
+    return AblationResult("estimator window (SEPT)", "window", rows)
+
+
+def ablate_fc_horizon(
+    horizons: Sequence[float] = (5.0, 15.0, 60.0, 300.0),
+    cores: int = 10,
+    intensity: int = 90,
+    seed: int = 1,
+) -> AblationResult:
+    """Fair-Choice's T: short horizons forget consumption too quickly."""
+    rows = []
+    for horizon in horizons:
+        cfg = ExperimentConfig(
+            cores=cores,
+            intensity=intensity,
+            policy="FC",
+            seed=seed,
+            scenario="skewed",
+            node_overrides=(("fc_horizon_s", horizon),),
+        )
+        rows.append((horizon, *_measure(cfg)))
+    return AblationResult("Fair-Choice horizon T (skewed mix)", "T [s]", rows)
+
+
+def ablate_busy_limit(
+    factors: Sequence[float] = (1.0, 1.5, 2.0, 4.0),
+    cores: int = 10,
+    intensity: int = 60,
+    policy: str = "SEPT",
+    seed: int = 1,
+) -> AblationResult:
+    """Undo Sect. IV-A: allow ``factor * cores`` busy containers, which
+    re-introduces OS-level preemption on the CPU bank."""
+    rows = []
+    for factor in factors:
+        cfg = ExperimentConfig(
+            cores=cores,
+            intensity=intensity,
+            policy=policy,
+            seed=seed,
+            node_overrides=(("busy_limit", int(round(cores * factor))),),
+        )
+        rows.append((factor, *_measure(cfg)))
+    return AblationResult("busy-limit factor (oversubscription)", "x cores", rows)
+
+
+def ablate_cold_start_cost(
+    create_ops: Sequence[float] = (0.1, 0.25, 0.5, 1.0),
+    cores: int = 10,
+    intensity: int = 60,
+    policy: str = "baseline",
+    seed: int = 1,
+) -> AblationResult:
+    """Baseline sensitivity to the serialized container-creation cost."""
+    rows = []
+    for create_op in create_ops:
+        cfg = ExperimentConfig(
+            cores=cores,
+            intensity=intensity,
+            policy=policy,
+            seed=seed,
+            node_overrides=(("create_op_s", create_op),),
+        )
+        rows.append((create_op, *_measure(cfg)))
+    return AblationResult("baseline create-op cost", "create_op [s]", rows)

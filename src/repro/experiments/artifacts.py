@@ -1,0 +1,238 @@
+"""Grid-derived paper artifacts: Tables II–IV and Figures 3–4 (plus the
+per-seed appendix figures 7–36, which are the same views without pooling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.config import BASELINE
+from repro.experiments.grid import (
+    FIGURE_CORES,
+    FIGURE_INTENSITIES,
+    GridResults,
+    GridSpec,
+    run_grid,
+)
+from repro.experiments.paper_data import TABLE2_RATIO_RANGES, TABLE3
+from repro.metrics.ascii import render_boxplot
+from repro.metrics.report import format_table, render_summary_table
+from repro.metrics.stats import BoxStats
+
+__all__ = [
+    "Table2Result",
+    "table2_from_grid",
+    "Table3Result",
+    "table3_from_grid",
+    "FigureBoxes",
+    "fig3_from_grid",
+    "fig4_from_grid",
+]
+
+
+# ----------------------------------------------------------------------
+# Table II — FIFO/baseline makespan ratios
+# ----------------------------------------------------------------------
+@dataclass
+class Table2Result:
+    """(cores, intensity) -> (lo, hi) FIFO/baseline max-c(i) ratio range."""
+
+    ranges: Dict[Tuple[int, int], Tuple[float, float]]
+
+    def render(self) -> str:
+        rows = []
+        for (cores, intensity), (lo, hi) in sorted(self.ranges.items()):
+            paper = TABLE2_RATIO_RANGES.get((cores, intensity))
+            paper_cell = f"{paper[0]:.2f}-{paper[1]:.2f}" if paper else "-"
+            rows.append([cores, intensity, paper_cell, f"{lo:.2f}-{hi:.2f}"])
+        return format_table(
+            ["cores", "intensity", "paper FIFO/baseline", "measured FIFO/baseline"],
+            rows,
+            title="Table II — max completion time, FIFO-to-baseline ratios",
+        )
+
+
+def table2_from_grid(grid: GridResults) -> Table2Result:
+    """Per-seed FIFO/baseline makespan ratios, reported as (min, max).
+
+    The paper pairs seed *k* of FIFO with seed *k* of the baseline (both
+    runs replay the same call sequence).
+    """
+    ranges: Dict[Tuple[int, int], Tuple[float, float]] = {}
+    for cores in grid.spec.cores:
+        for intensity in grid.spec.intensities:
+            key = (cores, intensity)
+            try:
+                fifo = grid.makespans(cores, intensity, "FIFO")
+                base = grid.makespans(cores, intensity, BASELINE)
+            except KeyError:
+                continue
+            ratios = [f / b for f, b in zip(fifo, base)]
+            ranges[key] = (min(ratios), max(ratios))
+    return Table2Result(ranges=ranges)
+
+
+# ----------------------------------------------------------------------
+# Table III / Table IV — aggregate and per-seed numeric grids
+# ----------------------------------------------------------------------
+@dataclass
+class Table3Result:
+    grid: GridResults
+    per_seed: bool = False
+
+    def render(self) -> str:
+        entries = []
+        for cores in self.grid.spec.cores:
+            for intensity in self.grid.spec.intensities:
+                for strategy in self.grid.spec.strategies:
+                    if (cores, intensity, strategy) not in self.grid.cells:
+                        continue
+                    if self.per_seed:
+                        for seed_idx, stats in enumerate(
+                            self.grid.per_seed_summaries(cores, intensity, strategy), 1
+                        ):
+                            entries.append(
+                                (f"c={cores} v={intensity} {strategy} #{seed_idx}", stats)
+                            )
+                    else:
+                        entries.append(
+                            (
+                                f"c={cores} v={intensity} {strategy}",
+                                self.grid.summary(cores, intensity, strategy),
+                            )
+                        )
+        title = (
+            "Table IV — per-experiment numeric results"
+            if self.per_seed
+            else "Table III — aggregated numeric results"
+        )
+        return render_summary_table(entries, title=title)
+
+    def render_comparison(self) -> str:
+        """Paper-vs-measured for the cells present in both."""
+        rows = []
+        for (cores, intensity, strategy), paper in sorted(TABLE3.items()):
+            if (cores, intensity, strategy) not in self.grid.cells:
+                continue
+            stats = self.grid.summary(cores, intensity, strategy)
+            rows.append(
+                [
+                    f"c={cores} v={intensity} {strategy}",
+                    paper[0],
+                    stats.mean_response_time,
+                    paper[1],
+                    stats.response_time_percentiles[50],
+                    paper[3],
+                    stats.mean_stretch,
+                    paper[5],
+                    stats.max_completion_time,
+                ]
+            )
+        return format_table(
+            [
+                "config",
+                "R.avg paper", "R.avg ours",
+                "R.p50 paper", "R.p50 ours",
+                "S.avg paper", "S.avg ours",
+                "mk paper", "mk ours",
+            ],
+            rows,
+            title="Table III — paper vs. measured",
+        )
+
+
+def table3_from_grid(grid: GridResults, per_seed: bool = False) -> Table3Result:
+    return Table3Result(grid=grid, per_seed=per_seed)
+
+
+# ----------------------------------------------------------------------
+# Figures 3 & 4 — box statistics per (cores, intensity, strategy)
+# ----------------------------------------------------------------------
+@dataclass
+class FigureBoxes:
+    """Box-plot statistics for one metric over the figure sub-grid."""
+
+    metric: str  # "response_time" | "stretch"
+    boxes: Dict[Tuple[int, int, str], BoxStats]
+
+    def render(self) -> str:
+        rows = []
+        for (cores, intensity, strategy), box in sorted(
+            self.boxes.items(), key=lambda kv: (kv[0][0], kv[0][1])
+        ):
+            rows.append(
+                [
+                    f"c={cores} v={intensity}",
+                    strategy,
+                    box.q1,
+                    box.median,
+                    box.q3,
+                    box.mean,
+                    box.whisker_high,
+                    box.n,
+                ]
+            )
+        figure = "Fig. 3 (response time [s])" if self.metric == "response_time" else "Fig. 4 (stretch)"
+        table = format_table(
+            ["panel", "strategy", "q1", "median", "q3", "mean", "whisker_hi", "n"],
+            rows,
+            title=f"{figure} — box statistics, pooled over seeds",
+        )
+        return table + "\n\n" + self.render_plots()
+
+    def render_plots(self) -> str:
+        """ASCII box plots, one panel per (cores, intensity) — the text-mode
+        equivalent of the paper's figure grid (stretch panels on log axes,
+        as published)."""
+        panels = sorted({(c, v) for c, v, _ in self.boxes})
+        blocks = []
+        for cores, intensity in panels:
+            entries = [
+                (strategy, self.boxes[(c, v, strategy)])
+                for (c, v, strategy) in sorted(
+                    self.boxes, key=lambda k: list(self.boxes).index(k)
+                )
+                if (c, v) == (cores, intensity)
+            ]
+            blocks.append(
+                render_boxplot(
+                    entries,
+                    title=f"{cores} CPU cores, intensity {intensity}",
+                    log_scale=(self.metric == "stretch"),
+                    unit="s" if self.metric == "response_time" else "",
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def _figure_boxes(grid: GridResults, metric: str) -> FigureBoxes:
+    boxes: Dict[Tuple[int, int, str], BoxStats] = {}
+    cores_list = [c for c in FIGURE_CORES if c in grid.spec.cores] or list(grid.spec.cores)
+    intensities = [v for v in FIGURE_INTENSITIES if v in grid.spec.intensities] or list(
+        grid.spec.intensities
+    )
+    for cores in cores_list:
+        for intensity in intensities:
+            for strategy in grid.spec.strategies:
+                if (cores, intensity, strategy) not in grid.cells:
+                    continue
+                if metric == "response_time":
+                    boxes[(cores, intensity, strategy)] = grid.response_box(
+                        cores, intensity, strategy
+                    )
+                else:
+                    boxes[(cores, intensity, strategy)] = grid.stretch_box(
+                        cores, intensity, strategy
+                    )
+    return FigureBoxes(metric=metric, boxes=boxes)
+
+
+def fig3_from_grid(grid: GridResults) -> FigureBoxes:
+    """Figure 3: response-time boxes on the {10,20} × {30,40,60} sub-grid."""
+    return _figure_boxes(grid, "response_time")
+
+
+def fig4_from_grid(grid: GridResults) -> FigureBoxes:
+    """Figure 4: stretch boxes on the same sub-grid."""
+    return _figure_boxes(grid, "stretch")

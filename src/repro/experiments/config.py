@@ -1,0 +1,115 @@
+"""Experiment configurations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional, Tuple
+
+from repro.node.config import NodeConfig
+
+__all__ = ["ExperimentConfig", "MultiNodeConfig", "BASELINE"]
+
+#: Pseudo-policy name selecting the stock OpenWhisk invoker.
+BASELINE = "baseline"
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One single-node run (paper Sects. V–VII).
+
+    Attributes
+    ----------
+    cores:
+        CPU cores for action containers.
+    intensity:
+        The paper's load multiplier ``v``; total requests are
+        ``1.1 * cores * intensity``.
+    policy:
+        ``"baseline"`` for stock OpenWhisk, else a scheduling-policy name
+        (``FIFO``/``SEPT``/``EECT``/``RECT``/``FC``).
+    seed:
+        Root seed; the paper repeats each configuration with 5 request
+        sequences — use seeds 1..5.
+    memory_mb:
+        Action-container memory pool (32 GiB in the main experiments).
+    scenario:
+        ``uniform`` (Sect. V-B grid), ``skewed`` (Sect. VII-D fairness) or
+        ``azure`` (extension).
+    warmup:
+        Whether containers and runtime estimates are warmed before the
+        burst (the paper always warms; disable to study cold behaviour).
+    node_overrides:
+        Extra :class:`~repro.node.config.NodeConfig` fields (ablations).
+    """
+
+    cores: int
+    intensity: int
+    policy: str = "FIFO"
+    seed: int = 1
+    memory_mb: int = 32768
+    scenario: str = "uniform"
+    warmup: bool = True
+    window_s: float = 60.0
+    node_overrides: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.scenario not in ("uniform", "skewed", "azure"):
+            raise ValueError(f"unknown scenario {self.scenario!r}")
+
+    @property
+    def is_baseline(self) -> bool:
+        return self.policy.lower() == BASELINE
+
+    def node_config(self) -> NodeConfig:
+        """Materialise the node configuration for this experiment."""
+        overrides = dict(self.node_overrides)
+        return NodeConfig(cores=self.cores, memory_mb=self.memory_mb, **overrides)
+
+    def with_(self, **changes) -> "ExperimentConfig":
+        """A copy with fields replaced (ergonomic sweep helper)."""
+        return replace(self, **changes)
+
+    def label(self) -> str:
+        return f"{self.policy} c={self.cores} v={self.intensity} seed={self.seed}"
+
+
+@dataclass(frozen=True)
+class MultiNodeConfig:
+    """One multi-node run (paper Sect. VIII).
+
+    The paper sends a *fixed* request count (1320 on 10-core VMs, 2376 on
+    18-core VMs) while varying the number of worker VMs from 4 down to 1.
+    """
+
+    nodes: int
+    cores_per_node: int
+    total_requests: int
+    policy: str = "FC"
+    seed: int = 1
+    memory_mb: int = 40960
+    balancer: str = "least-loaded"
+    window_s: float = 60.0
+    node_overrides: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {self.nodes!r}")
+
+    @property
+    def is_baseline(self) -> bool:
+        return self.policy.lower() == BASELINE
+
+    def node_config(self) -> NodeConfig:
+        overrides = dict(self.node_overrides)
+        return NodeConfig(
+            cores=self.cores_per_node, memory_mb=self.memory_mb, **overrides
+        )
+
+    def with_(self, **changes) -> "MultiNodeConfig":
+        return replace(self, **changes)
+
+    def label(self) -> str:
+        return (
+            f"{self.policy} nodes={self.nodes} c={self.cores_per_node} "
+            f"n={self.total_requests} seed={self.seed}"
+        )

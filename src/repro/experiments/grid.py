@@ -1,0 +1,122 @@
+"""The paper's single-node experiment grid (Sects. V–VII).
+
+The grid spans cores × intensity × strategy × 5 seeds.  Tables II–IV and
+Figures 3–4 (and appendix Figures 7–36) are all views over this grid, so
+the runner caches results per cell and the artifact modules slice them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.experiments.config import BASELINE, ExperimentConfig
+from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.metrics.records import CallRecord
+from repro.metrics.stats import BoxStats, SummaryStats, box_stats, summarize
+
+__all__ = [
+    "GridSpec",
+    "GridResults",
+    "run_grid",
+    "PAPER_CORES",
+    "PAPER_INTENSITIES",
+    "PAPER_STRATEGIES",
+    "FIGURE_CORES",
+    "FIGURE_INTENSITIES",
+]
+
+#: The full grid of the paper's Table III.
+PAPER_CORES = (5, 10, 20)
+PAPER_INTENSITIES = (30, 40, 60, 90, 120)
+#: Strategy order used throughout the paper's figures.
+PAPER_STRATEGIES = (BASELINE, "FIFO", "SEPT", "EECT", "RECT", "FC")
+#: The subsets shown in the main-body Figures 3 and 4.
+FIGURE_CORES = (10, 20)
+FIGURE_INTENSITIES = (30, 40, 60)
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """Which slice of the grid to run."""
+
+    cores: Tuple[int, ...] = PAPER_CORES
+    intensities: Tuple[int, ...] = PAPER_INTENSITIES
+    strategies: Tuple[str, ...] = PAPER_STRATEGIES
+    seeds: Tuple[int, ...] = (1, 2, 3, 4, 5)
+
+    @classmethod
+    def quick(cls) -> "GridSpec":
+        """A scaled-down slice for smoke tests and default bench runs."""
+        return cls(
+            cores=(10,),
+            intensities=(30, 60),
+            strategies=(BASELINE, "FIFO", "SEPT", "FC"),
+            seeds=(1,),
+        )
+
+    def cells(self) -> Iterable[Tuple[int, int, str]]:
+        for cores in self.cores:
+            for intensity in self.intensities:
+                for strategy in self.strategies:
+                    yield cores, intensity, strategy
+
+
+@dataclass
+class GridResults:
+    """Results keyed by (cores, intensity, strategy) -> one result per seed."""
+
+    spec: GridSpec
+    cells: Dict[Tuple[int, int, str], List[ExperimentResult]]
+
+    def results(self, cores: int, intensity: int, strategy: str) -> List[ExperimentResult]:
+        return self.cells[(cores, intensity, strategy)]
+
+    def pooled_records(self, cores: int, intensity: int, strategy: str) -> List[CallRecord]:
+        """All call records of a cell, pooled over seeds (the paper's boxes
+        aggregate "all individual calls from all 5 sequences")."""
+        pooled: List[CallRecord] = []
+        for result in self.results(cores, intensity, strategy):
+            pooled.extend(result.records)
+        return pooled
+
+    def summary(self, cores: int, intensity: int, strategy: str) -> SummaryStats:
+        """Table-III style aggregate over pooled seeds."""
+        return summarize(self.pooled_records(cores, intensity, strategy))
+
+    def per_seed_summaries(
+        self, cores: int, intensity: int, strategy: str
+    ) -> List[SummaryStats]:
+        """Table-IV style per-experiment rows."""
+        return [r.summary() for r in self.results(cores, intensity, strategy)]
+
+    def response_box(self, cores: int, intensity: int, strategy: str) -> BoxStats:
+        """One box of Figure 3."""
+        return box_stats(
+            [r.response_time for r in self.pooled_records(cores, intensity, strategy)]
+        )
+
+    def stretch_box(self, cores: int, intensity: int, strategy: str) -> BoxStats:
+        """One box of Figure 4."""
+        return box_stats(
+            [r.stretch for r in self.pooled_records(cores, intensity, strategy)]
+        )
+
+    def makespans(self, cores: int, intensity: int, strategy: str) -> List[float]:
+        """Per-seed ``max c(i)`` values (Table II inputs)."""
+        return [r.makespan for r in self.results(cores, intensity, strategy)]
+
+
+def run_grid(spec: GridSpec | None = None) -> GridResults:
+    """Run (cores × intensity × strategy × seeds) single-node experiments."""
+    spec = spec if spec is not None else GridSpec()
+    cells: Dict[Tuple[int, int, str], List[ExperimentResult]] = {}
+    for cores, intensity, strategy in spec.cells():
+        cell: List[ExperimentResult] = []
+        for seed in spec.seeds:
+            cfg = ExperimentConfig(
+                cores=cores, intensity=intensity, policy=strategy, seed=seed
+            )
+            cell.append(run_experiment(cfg))
+        cells[(cores, intensity, strategy)] = cell
+    return GridResults(spec=spec, cells=cells)

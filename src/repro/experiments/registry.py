@@ -1,0 +1,138 @@
+"""Experiment registry: one entry per paper artifact (see DESIGN.md §4).
+
+Each entry maps an experiment id to a callable ``run(quick: bool) -> str``
+returning a rendered report.  ``quick=True`` runs a scaled-down version
+(fewer seeds / smaller sweeps) suitable for CI and the default benchmark
+invocation; ``quick=False`` reproduces the paper's full protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.experiments.ablations import (
+    ablate_busy_limit,
+    ablate_cold_start_cost,
+    ablate_estimator_window,
+    ablate_fc_horizon,
+)
+from repro.experiments.artifacts import (
+    fig3_from_grid,
+    fig4_from_grid,
+    table2_from_grid,
+    table3_from_grid,
+)
+from repro.experiments.fig2_coldstarts import run_fig2
+from repro.experiments.fig5_fairness import run_fig5
+from repro.experiments.fig6_multinode import run_fig6
+from repro.experiments.grid import GridSpec, run_grid
+from repro.experiments.table1 import run_table1
+
+__all__ = ["EXPERIMENTS", "run_registered", "experiment_ids"]
+
+
+def _grid_spec(quick: bool) -> GridSpec:
+    if quick:
+        return GridSpec(
+            cores=(10, 20),
+            intensities=(30, 60),
+            strategies=("baseline", "FIFO", "SEPT", "EECT", "RECT", "FC"),
+            seeds=(1,),
+        )
+    return GridSpec()
+
+
+def _table1(quick: bool) -> str:
+    return run_table1(calls_per_function=20 if quick else 50).render()
+
+
+def _fig2(quick: bool) -> str:
+    if quick:
+        return run_fig2(
+            memories_mb=(4096, 16384, 32768, 131072), intensities=(30, 120)
+        ).render()
+    return run_fig2().render()
+
+
+def _fig3(quick: bool) -> str:
+    return fig3_from_grid(run_grid(_grid_spec(quick))).render()
+
+
+def _fig4(quick: bool) -> str:
+    return fig4_from_grid(run_grid(_grid_spec(quick))).render()
+
+
+def _table2(quick: bool) -> str:
+    spec = _grid_spec(quick)
+    if quick:
+        spec = GridSpec(
+            cores=(5, 20), intensities=(30, 120),
+            strategies=("baseline", "FIFO"), seeds=(1, 2),
+        )
+    return table2_from_grid(run_grid(spec)).render()
+
+
+def _table3(quick: bool) -> str:
+    grid = run_grid(_grid_spec(quick))
+    result = table3_from_grid(grid)
+    return result.render() + "\n\n" + result.render_comparison()
+
+
+def _table4(quick: bool) -> str:
+    spec = _grid_spec(quick)
+    if quick:
+        spec = GridSpec(cores=(10,), intensities=(30,), seeds=(1, 2, 3))
+    return table3_from_grid(run_grid(spec), per_seed=True).render()
+
+
+def _fig5(quick: bool) -> str:
+    return run_fig5(seeds=(1,) if quick else (1, 2, 3, 4, 5)).render()
+
+
+def _fig6(quick: bool) -> str:
+    seeds = (1,) if quick else (1, 2, 3, 4, 5)
+    reports = [run_fig6(cores_per_node=18, seeds=seeds).render()]
+    if not quick:
+        reports.append(run_fig6(cores_per_node=10, seeds=seeds).render())
+    return "\n\n".join(reports)
+
+
+def _ablations(quick: bool) -> str:
+    reports = [
+        ablate_estimator_window().render(),
+        ablate_busy_limit().render(),
+    ]
+    if not quick:
+        reports.append(ablate_fc_horizon().render())
+        reports.append(ablate_cold_start_cost().render())
+    return "\n\n".join(reports)
+
+
+#: Experiment id -> (description, runner).
+EXPERIMENTS: Dict[str, tuple[str, Callable[[bool], str]]] = {
+    "table1": ("Table I — idle-system SeBS function benchmark", _table1),
+    "fig2": ("Fig. 2 — cold starts vs. memory and intensity", _fig2),
+    "fig3": ("Fig. 3 — response-time boxes over the grid", _fig3),
+    "fig4": ("Fig. 4 — stretch boxes over the grid", _fig4),
+    "table2": ("Table II — FIFO/baseline makespan ratios", _table2),
+    "table3": ("Table III — aggregated numeric grid (+ paper comparison)", _table3),
+    "table4": ("Table IV — per-seed numeric grid", _table4),
+    "fig5": ("Fig. 5 — Fair-Choice fairness (skewed mix)", _fig5),
+    "fig6": ("Fig. 6 / Table V — multi-node sweep", _fig6),
+    "ablations": ("Extensions — ablation studies", _ablations),
+}
+
+
+def experiment_ids() -> List[str]:
+    return list(EXPERIMENTS)
+
+
+def run_registered(experiment_id: str, quick: bool = True) -> str:
+    """Run a registered experiment and return its rendered report."""
+    try:
+        _, runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: {', '.join(EXPERIMENTS)}"
+        ) from None
+    return runner(quick)

@@ -1,0 +1,152 @@
+"""Experiment execution: warm-up → 60-second burst → drain (Sect. V-A)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.cluster.controller import make_balancer
+from repro.cluster.network import NetworkModel
+from repro.cluster.platform import FaaSPlatform
+from repro.experiments.config import ExperimentConfig, MultiNodeConfig
+from repro.metrics.records import CallRecord
+from repro.metrics.stats import SummaryStats, summarize
+from repro.node.baseline import BaselineInvoker
+from repro.node.invoker import Invoker
+from repro.sim.core import Environment
+from repro.sim.rng import RngRegistry
+from repro.workload.functions import sebs_catalog
+from repro.workload.generator import BurstScenario
+from repro.workload.scenarios import (
+    azure_like_burst,
+    multi_node_burst,
+    skewed_burst,
+    uniform_burst,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "run_experiment",
+    "run_multi_node_experiment",
+    "run_repetitions",
+]
+
+AnyConfig = Union[ExperimentConfig, MultiNodeConfig]
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one run produced."""
+
+    config: AnyConfig
+    records: List[CallRecord]
+    #: Per-invoker diagnostics.
+    node_stats: List[Dict[str, float]]
+
+    def summary(self) -> SummaryStats:
+        return summarize(self.records)
+
+    def records_for(self, function_name: str) -> List[CallRecord]:
+        return [r for r in self.records if r.function_name == function_name]
+
+    @property
+    def response_times(self) -> List[float]:
+        return [r.response_time for r in self.records]
+
+    @property
+    def stretches(self) -> List[float]:
+        return [r.stretch for r in self.records]
+
+    @property
+    def makespan(self) -> float:
+        """``max c(i)`` — the moment the last response reached its client."""
+        return max(r.completed_at for r in self.records)
+
+    @property
+    def cold_starts(self) -> int:
+        return sum(1 for r in self.records if r.cold_start)
+
+
+def _node_stats(invoker: Union[Invoker, BaselineInvoker]) -> Dict[str, float]:
+    return {
+        "name": invoker.name,
+        "is_baseline": invoker.is_baseline,
+        "cold_starts": invoker.pool.cold_starts,
+        "prewarm_starts": invoker.pool.prewarm_starts,
+        "warm_hits": invoker.pool.warm_hits,
+        "hot_hits": invoker.pool.hot_hits,
+        "evictions": invoker.pool.evictions,
+        "peak_memory_mb": invoker.memory.peak_used_mb,
+        "cpu_utilization": invoker.cpu.utilization(),
+        "daemon_utilization": invoker.daemon.utilization(),
+        "daemon_ops": dict(invoker.daemon.op_counts),
+        "completed": len(invoker.completed),
+    }
+
+
+def _build_invoker(
+    env: Environment, config: AnyConfig, name: str
+) -> Union[Invoker, BaselineInvoker]:
+    node_config = config.node_config()
+    if config.is_baseline:
+        return BaselineInvoker(env, node_config, name=name)
+    return Invoker(env, node_config, policy=config.policy, name=name)
+
+
+def _build_scenario(config: ExperimentConfig, rngs: RngRegistry) -> BurstScenario:
+    rng = rngs.get("scenario")
+    if config.scenario == "uniform":
+        return uniform_burst(config.cores, config.intensity, rng, window=config.window_s)
+    if config.scenario == "skewed":
+        return skewed_burst(config.cores, config.intensity, rng, window=config.window_s)
+    if config.scenario == "azure":
+        return azure_like_burst(config.cores, config.intensity, rng, window=config.window_s)
+    raise ValueError(f"unknown scenario {config.scenario!r}")
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Run one single-node experiment end to end."""
+    env = Environment()
+    rngs = RngRegistry(config.seed)
+    catalog = sebs_catalog()
+
+    invoker = _build_invoker(env, config, name=f"{config.policy}-node")
+    if config.warmup:
+        invoker.warm_up(catalog)
+
+    scenario = _build_scenario(config, rngs)
+    platform = FaaSPlatform(env, [invoker])
+    records = platform.run_scenario(scenario)
+    return ExperimentResult(config=config, records=records, node_stats=[_node_stats(invoker)])
+
+
+def run_multi_node_experiment(config: MultiNodeConfig) -> ExperimentResult:
+    """Run one multi-node experiment (paper Sect. VIII)."""
+    env = Environment()
+    rngs = RngRegistry(config.seed)
+    catalog = sebs_catalog()
+
+    invokers = [
+        _build_invoker(env, config, name=f"{config.policy}-node-{i}")
+        for i in range(config.nodes)
+    ]
+    for invoker in invokers:
+        invoker.warm_up(catalog)
+
+    scenario = multi_node_burst(config.total_requests, rngs.get("scenario"), window=config.window_s)
+    balancer = make_balancer(config.balancer, invokers)
+    platform = FaaSPlatform(env, invokers, balancer=balancer)
+    records = platform.run_scenario(scenario)
+    return ExperimentResult(
+        config=config,
+        records=records,
+        node_stats=[_node_stats(inv) for inv in invokers],
+    )
+
+
+def run_repetitions(
+    config: ExperimentConfig, seeds: Sequence[int] = (1, 2, 3, 4, 5)
+) -> List[ExperimentResult]:
+    """The paper's 5-repetition protocol: same configuration, different
+    random call sequences."""
+    return [run_experiment(config.with_(seed=seed)) for seed in seeds]

@@ -1,0 +1,94 @@
+"""Table I reproduction: idle-system function benchmark.
+
+The paper benchmarks each SeBS function 50 times on a warm, otherwise
+idle node and reports client-side 5th/50th/95th response-time
+percentiles.  We run exactly that protocol against the simulated
+platform; the output validates the workload model end to end (fitted
+service distributions + network overhead + warm dispatch path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.cluster.network import NetworkModel
+from repro.experiments.paper_data import TABLE1_MEDIANS_MS
+from repro.metrics.report import format_table
+from repro.node.config import NodeConfig
+from repro.node.invoker import Invoker
+from repro.sim.core import Environment
+from repro.sim.rng import RngRegistry
+from repro.workload.functions import sebs_catalog
+from repro.workload.generator import BurstScenario, Request
+
+__all__ = ["run_table1", "Table1Result"]
+
+
+@dataclass
+class Table1Result:
+    """Measured idle percentiles per function (seconds)."""
+
+    percentiles: Dict[str, Tuple[float, float, float]]
+
+    def render(self) -> str:
+        rows = []
+        for name, (p5, p50, p95) in sorted(
+            self.percentiles.items(), key=lambda kv: -kv[1][1]
+        ):
+            paper = TABLE1_MEDIANS_MS[name]
+            rows.append(
+                [
+                    name,
+                    f"{paper[0]}/{paper[1]}/{paper[2]}",
+                    f"{p5 * 1e3:.0f}/{p50 * 1e3:.0f}/{p95 * 1e3:.0f}",
+                ]
+            )
+        return format_table(
+            ["function", "paper p5/p50/p95 [ms]", "measured p5/p50/p95 [ms]"],
+            rows,
+            title="Table I — idle-system response times (client side)",
+        )
+
+
+def run_table1(calls_per_function: int = 50, seed: int = 1, cores: int = 10) -> Table1Result:
+    """Call every catalog function *calls_per_function* times back-to-back
+    (the paper's protocol: next call issued when the previous returns) on
+    an idle warm node and measure client-side response percentiles."""
+    env = Environment()
+    rngs = RngRegistry(seed)
+    catalog = sebs_catalog()
+    network = NetworkModel()
+    invoker = Invoker(env, NodeConfig(cores=cores), policy="FIFO", name="idle-bench")
+    invoker.warm_up(catalog)
+
+    rng = rngs.get("table1")
+    responses: Dict[str, List[float]] = {spec.name: [] for spec in catalog}
+
+    def sequential_client():
+        rid = 0
+        for spec in catalog:
+            services = spec.service_distribution.sample(rng, size=calls_per_function)
+            for service in services:
+                sent_at = env.now
+                yield env.timeout(network.request_delay())
+                request = Request(rid, spec, sent_at, float(service))
+                rid += 1
+                yield invoker.submit(request)
+                yield env.timeout(network.response_delay())
+                responses[spec.name].append(env.now - sent_at)
+
+    env.process(sequential_client())
+    env.run()
+
+    percentiles: Dict[str, Tuple[float, float, float]] = {}
+    for spec in catalog:
+        values = np.array(responses[spec.name])
+        percentiles[spec.name] = (
+            float(np.percentile(values, 5)),
+            float(np.percentile(values, 50)),
+            float(np.percentile(values, 95)),
+        )
+    return Table1Result(percentiles=percentiles)

@@ -1,0 +1,24 @@
+"""Metrics: per-call records, response-time/stretch statistics, reports."""
+
+from repro.metrics.ascii import render_boxplot
+from repro.metrics.records import CallRecord
+from repro.metrics.stats import (
+    BoxStats,
+    SummaryStats,
+    box_stats,
+    percentile,
+    summarize,
+)
+from repro.metrics.report import format_table, render_summary_table
+
+__all__ = [
+    "BoxStats",
+    "CallRecord",
+    "SummaryStats",
+    "box_stats",
+    "format_table",
+    "percentile",
+    "render_boxplot",
+    "render_summary_table",
+    "summarize",
+]

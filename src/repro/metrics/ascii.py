@@ -1,0 +1,94 @@
+"""ASCII rendering of the paper's box plots.
+
+Matplotlib is not available in the offline environment, so the figure
+experiments render their box statistics as text-mode box plots — enough
+to eyeball the shapes the paper's Figures 3-5 show (log-scale stretch
+panels included).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.metrics.stats import BoxStats
+
+__all__ = ["render_boxplot"]
+
+_DEFAULT_WIDTH = 60
+
+
+def render_boxplot(
+    entries: Sequence[Tuple[str, BoxStats]],
+    title: str = "",
+    width: int = _DEFAULT_WIDTH,
+    log_scale: bool = False,
+    unit: str = "",
+) -> str:
+    """Render labelled box plots on a shared horizontal axis.
+
+    Each row draws ``|whisker---[ q1 | median | q3 ]---whisker|`` with the
+    mean marked ``*`` (clamped into the axis if it falls outside the
+    whisker span, like the paper's green triangles).
+    """
+    if not entries:
+        raise ValueError("no boxes to render")
+    if width < 20:
+        raise ValueError("width too small to draw a box plot")
+
+    lo = min(stats.whisker_low for _, stats in entries)
+    hi = max(max(stats.whisker_high, stats.mean) for _, stats in entries)
+    if log_scale:
+        floor = min(
+            [stats.whisker_low for _, stats in entries if stats.whisker_low > 0]
+            or [1e-3]
+        )
+        transform = lambda v: math.log10(max(v, floor))  # noqa: E731
+        lo, hi = transform(max(lo, floor)), transform(max(hi, floor))
+    else:
+        transform = lambda v: v  # noqa: E731
+    span = hi - lo or 1.0
+
+    def column(value: float) -> int:
+        fraction = (transform(value) - lo) / span
+        return max(0, min(width - 1, int(round(fraction * (width - 1)))))
+
+    label_width = max(len(label) for label, _ in entries)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, stats in entries:
+        row = [" "] * width
+        w_lo, q1, med, q3, w_hi = (
+            column(stats.whisker_low),
+            column(stats.q1),
+            column(stats.median),
+            column(stats.q3),
+            column(stats.whisker_high),
+        )
+        for i in range(w_lo, w_hi + 1):
+            row[i] = "-"
+        for i in range(q1, q3 + 1):
+            row[i] = "="
+        row[w_lo] = "|"
+        row[w_hi] = "|"
+        row[q1] = "["
+        row[q3] = "]"
+        row[column(stats.mean)] = "*"
+        row[med] = "#"  # median wins when it coincides with the mean
+        lines.append(
+            f"{label.rjust(label_width)}  {''.join(row)}  "
+            f"med={stats.median:.3g}{unit} mean={stats.mean:.3g}{unit}"
+        )
+    scale = "log10" if log_scale else "linear"
+    lines.append(
+        f"{' ' * label_width}  axis: {scale}, "
+        f"[{_fmt_axis(lo, log_scale)} .. {_fmt_axis(hi, log_scale)}]{unit}"
+    )
+    return "\n".join(lines)
+
+
+def _fmt_axis(value: float, log_scale: bool) -> str:
+    if log_scale:
+        return f"{10 ** value:.3g}"
+    return f"{value:.3g}"

@@ -1,0 +1,85 @@
+"""Per-call measurement records (the client's view, as Gatling reports)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.node.invoker import NodeCallInfo
+    from repro.workload.generator import Request
+
+__all__ = ["CallRecord"]
+
+
+@dataclass(frozen=True)
+class CallRecord:
+    """End-to-end measurement of one call.
+
+    Times follow the paper's notation: the request is generated at
+    ``r(i)`` (:attr:`release_time`), received by the invoker at ``r'(i)``
+    (:attr:`received_at`), and its response reaches the client at ``c(i)``
+    (:attr:`completed_at`).
+    """
+
+    rid: int
+    function_name: str
+    invoker: str
+    release_time: float
+    received_at: float
+    dispatched_at: float
+    exec_start: float
+    exec_end: float
+    completed_at: float
+    service_time: float
+    #: Idle-system median response time of the function — the stretch
+    #: denominator the paper uses (Sect. V-A).
+    reference_response_time: float
+    cold_start: bool
+    start_kind: str
+
+    @property
+    def response_time(self) -> float:
+        """``R(i) = c(i) - r(i)``."""
+        return self.completed_at - self.release_time
+
+    @property
+    def stretch(self) -> float:
+        """``S(i) = R(i) / p̃(f(i))`` with the Table-I median as p̃;
+        like the paper's, this can fall below 1."""
+        return self.response_time / self.reference_response_time
+
+    @property
+    def wait_time(self) -> float:
+        """Queueing delay at the invoker."""
+        return self.dispatched_at - self.received_at
+
+    @property
+    def processing_time(self) -> float:
+        """Node-measured execution duration."""
+        return self.exec_end - self.exec_start
+
+    @classmethod
+    def from_node_info(
+        cls,
+        info: "NodeCallInfo",
+        completed_at: float,
+    ) -> "CallRecord":
+        """Assemble a client record from node-level info plus the moment
+        the response reached the client."""
+        request = info.request
+        return cls(
+            rid=request.rid,
+            function_name=request.function.name,
+            invoker=info.invoker,
+            release_time=request.release_time,
+            received_at=info.received_at,
+            dispatched_at=info.dispatched_at,
+            exec_start=info.exec_start,
+            exec_end=info.exec_end,
+            completed_at=completed_at,
+            service_time=request.service_time,
+            reference_response_time=request.function.median_response_time,
+            cold_start=info.cold_start,
+            start_kind=info.start_kind,
+        )

@@ -1,0 +1,71 @@
+"""Plain-text rendering of result tables (the benches' output format)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.metrics.stats import PAPER_PERCENTILES, SummaryStats
+
+__all__ = ["format_table", "render_summary_table", "format_ratio"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned monospace table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_summary_table(
+    entries: Sequence[Tuple[str, SummaryStats]],
+    title: str = "",
+    include_stretch: bool = True,
+) -> str:
+    """Rows of Table-III-style statistics, one per labelled summary."""
+    headers = ["config", "n", "R.avg"] + [f"R.p{q}" for q in PAPER_PERCENTILES]
+    if include_stretch:
+        headers += ["S.avg"] + [f"S.p{q}" for q in PAPER_PERCENTILES]
+    headers += ["max c(i)", "colds"]
+    rows = []
+    for label, stats in entries:
+        row: List[object] = [label, stats.n_calls, stats.mean_response_time]
+        row += [stats.response_time_percentiles[q] for q in PAPER_PERCENTILES]
+        if include_stretch:
+            row.append(stats.mean_stretch)
+            row += [stats.stretch_percentiles[q] for q in PAPER_PERCENTILES]
+        row += [stats.max_completion_time, stats.cold_starts]
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_ratio(paper: float, measured: float) -> str:
+    """``paper -> measured (xRATIO)`` comparison cell."""
+    if measured == 0:
+        return f"{paper:.2f} -> {measured:.2f}"
+    return f"{paper:.2f} -> {measured:.2f} (x{paper / measured:.2f})"
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.2f}"
+    return str(cell)

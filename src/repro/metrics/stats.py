@@ -1,0 +1,118 @@
+"""Aggregate statistics over call records (paper Tables III-VI).
+
+The paper reports, per (cores, intensity, strategy): average, 50th, 75th,
+95th and 99th percentiles of both response time ``R(i)`` and stretch
+``S(i)``, plus the maximum completion moment ``max c(i)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.metrics.records import CallRecord
+
+__all__ = ["SummaryStats", "BoxStats", "percentile", "summarize", "box_stats"]
+
+#: Percentiles the paper tabulates.
+PAPER_PERCENTILES = (50, 75, 95, 99)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Percentile with linear interpolation (numpy's default), matching
+    what pandas/matplotlib-based paper tooling computes."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot take a percentile of no data")
+    return float(np.percentile(arr, q))
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Box-plot statistics as drawn in the paper's figures: quartile box,
+    median, mean, and 1.5·IQR whiskers."""
+
+    q1: float
+    median: float
+    q3: float
+    mean: float
+    whisker_low: float
+    whisker_high: float
+    n: int
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "BoxStats":
+        arr = np.asarray(values, dtype=float)
+        if arr.size == 0:
+            raise ValueError("cannot compute box stats of no data")
+        q1, med, q3 = (float(np.percentile(arr, q)) for q in (25, 50, 75))
+        iqr = q3 - q1
+        lo_limit, hi_limit = q1 - 1.5 * iqr, q3 + 1.5 * iqr
+        in_lo = arr[arr >= lo_limit]
+        in_hi = arr[arr <= hi_limit]
+        whisker_low = float(in_lo.min()) if in_lo.size else float(arr.min())
+        whisker_high = float(in_hi.max()) if in_hi.size else float(arr.max())
+        # Whiskers are drawn from the box edges: clamp so they never cross
+        # the box (possible when every value beyond a quartile is an outlier).
+        whisker_low = min(whisker_low, q1)
+        whisker_high = max(whisker_high, q3)
+        return cls(q1, med, q3, float(arr.mean()), whisker_low, whisker_high, int(arr.size))
+
+
+def box_stats(values: Sequence[float]) -> BoxStats:
+    """Convenience alias for :meth:`BoxStats.from_values`."""
+    return BoxStats.from_values(values)
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """One row of the paper's Table III/IV (or V/VI without stretch)."""
+
+    n_calls: int
+    mean_response_time: float
+    response_time_percentiles: dict
+    mean_stretch: float
+    stretch_percentiles: dict
+    max_completion_time: float
+    cold_starts: int
+
+    def response_percentile(self, q: int) -> float:
+        return self.response_time_percentiles[q]
+
+    def stretch_percentile(self, q: int) -> float:
+        return self.stretch_percentiles[q]
+
+    def as_row(self) -> List[float]:
+        """Values in the paper's Table-III column order."""
+        return [
+            self.mean_response_time,
+            *(self.response_time_percentiles[q] for q in PAPER_PERCENTILES),
+            self.mean_stretch,
+            *(self.stretch_percentiles[q] for q in PAPER_PERCENTILES),
+            self.max_completion_time,
+        ]
+
+
+def summarize(records: Iterable[CallRecord]) -> SummaryStats:
+    """Aggregate call records into the paper's summary statistics."""
+    records = list(records)
+    if not records:
+        raise ValueError("cannot summarize zero records")
+    responses = np.array([r.response_time for r in records])
+    stretches = np.array([r.stretch for r in records])
+    completions = np.array([r.completed_at for r in records])
+    return SummaryStats(
+        n_calls=len(records),
+        mean_response_time=float(responses.mean()),
+        response_time_percentiles={
+            q: float(np.percentile(responses, q)) for q in PAPER_PERCENTILES
+        },
+        mean_stretch=float(stretches.mean()),
+        stretch_percentiles={
+            q: float(np.percentile(stretches, q)) for q in PAPER_PERCENTILES
+        },
+        max_completion_time=float(completions.max()),
+        cold_starts=sum(1 for r in records if r.cold_start),
+    )

@@ -1,0 +1,182 @@
+"""The stock OpenWhisk invoker (the paper's baseline).
+
+Behaviour per paper Sect. III:
+
+* requests are handled in receipt (FIFO) order; a request is queued only
+  when it cannot be placed immediately;
+* placement is *greedy*: free (warm) pool container → prewarm pool
+  container → new container, evicting idle free-pool containers when
+  memory is needed; if nothing works, the request waits at the head of
+  the queue until a container or memory frees up;
+* concurrency is bounded by **memory only** — there may be far more busy
+  containers than CPU cores; the OS then time-shares the cores
+  (preemption), with each container's CPU weight proportional to its
+  memory (the OpenWhisk default), modelled by the processor-sharing CPU
+  bank with a context-switch efficiency penalty.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, List, Optional, Tuple
+
+from repro.node.container import ContainerState
+from repro.node.docker import DockerDaemon
+from repro.node.invoker import NodeCallInfo
+from repro.node.memory import MemoryPool
+from repro.node.pool import ContainerPool
+from repro.sim.cpu import SharedCPU, linear_overhead_efficiency
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.core import Environment
+    from repro.node.config import NodeConfig
+    from repro.workload.functions import FunctionSpec
+    from repro.workload.generator import Request
+
+__all__ = ["BaselineInvoker"]
+
+#: Memory size whose container gets CPU weight 1.0 (OpenWhisk's
+#: ``memory / stdMemory`` share rule).
+_STD_MEMORY_MB = 256.0
+
+
+class BaselineInvoker:
+    """Stock OpenWhisk worker-node resource manager."""
+
+    is_baseline = True
+
+    def __init__(
+        self,
+        env: "Environment",
+        config: "NodeConfig",
+        name: str = "baseline-0",
+    ) -> None:
+        self.env = env
+        self.config = config
+        self.name = name
+        self.cpu = SharedCPU(
+            env, config.cores, efficiency=linear_overhead_efficiency(config.kappa)
+        )
+        self.daemon = DockerDaemon(env, config)
+        self.memory = MemoryPool(config.memory_mb)
+        self.pool = ContainerPool(env, config, self.daemon, self.memory)
+        self.pool.bootstrap_prewarm()
+        self._queue: Deque[Tuple["Request", NodeCallInfo, Event]] = deque()
+        self._running = 0
+        self.completed: List[NodeCallInfo] = []
+        self.submitted = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def busy_count(self) -> int:
+        return self._running
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    @property
+    def outstanding(self) -> int:
+        return self.submitted - len(self.completed)
+
+    def warm_up(self, specs: "List[FunctionSpec]", per_function: Optional[int] = None) -> None:
+        """Same warm-up protocol as our invoker: up to ``cores`` warm
+        containers per function (the baseline keeps no runtime history, so
+        only containers are seeded)."""
+        count = self.config.cores if per_function is None else per_function
+        for spec in specs:
+            self.pool.seed_warm(spec, count)
+
+    def submit(self, request: "Request") -> Event:
+        """Receive a call; greedy immediate placement, else FIFO queue."""
+        self.submitted += 1
+        done = Event(self.env)
+        info = NodeCallInfo(
+            request=request,
+            invoker=self.name,
+            received_at=self.env.now,
+            queue_length_at_receipt=len(self._queue),
+        )
+        self._queue.append((request, info, done))
+        self._drain()
+        return done
+
+    # ------------------------------------------------------------------
+    def _drain(self) -> None:
+        """Place queued requests head-first while the greedy algorithm
+        succeeds; the head blocks the queue when it cannot be placed
+        (it waits for a freed container or freed memory)."""
+        while self._queue:
+            request, info, done = self._queue[0]
+            plan = self.pool.acquire(request.function, allow_prewarm=True)
+            if plan is None:
+                break
+            self._queue.popleft()
+            self._running += 1
+            self.env.process(self._run(request, info, done, plan))
+
+    def _run(self, request: "Request", info: NodeCallInfo, done: Event, plan):
+        env = self.env
+        info.dispatched_at = env.now
+        container = plan.container
+        info.start_kind = plan.kind
+        weight = container.memory_mb / _STD_MEMORY_MB
+
+        if self.config.invoker_overhead_s:
+            yield env.timeout(self.config.invoker_overhead_s)
+
+        if plan.kind == "warm":
+            # Reviving a paused container needs a (cheap) serialized daemon
+            # cycle plus the unpause latency; only *hot* reuse is free.
+            yield from self.daemon.op("dispatch", priority=info.received_at)
+            yield env.timeout(self.config.unpause_latency_s)
+        elif plan.kind == "cold":
+            yield from self.daemon.op("create", priority=info.received_at)
+            yield env.timeout(self.config.cold_init_latency_s)
+            if self.config.cold_init_cpu_s:
+                task = self.cpu.execute(
+                    self.config.cold_init_cpu_s, weight=weight, label="cold-init"
+                )
+                yield task.event
+        elif plan.kind == "prewarm":
+            yield env.timeout(self.config.unpause_latency_s)  # shells sit paused
+            yield env.timeout(self.config.prewarm_init_latency_s)
+            if self.config.prewarm_init_cpu_s:
+                task = self.cpu.execute(
+                    self.config.prewarm_init_cpu_s, weight=weight, label="prewarm-init"
+                )
+                yield task.event
+        container.state = ContainerState.HOT
+
+        # -- execute: CPU share proportional to memory, capped at 1 core --
+        system_work = self.config.system_cpu_coeff_s * max(
+            0, min(self._running, self.config.cores) - 1
+        )
+        if system_work > 0:
+            task = self.cpu.execute(system_work, weight=weight, label="system")
+            yield task.event
+        info.exec_start = env.now
+        if request.io_time > 0:
+            yield env.timeout(request.io_time)
+        if request.cpu_work > 0:
+            task = self.cpu.execute(
+                request.cpu_work,
+                weight=weight,
+                max_rate=1.0,
+                label=request.function.name,
+            )
+            yield task.event
+        info.exec_end = env.now
+
+        self.pool.release(container)
+        info.finished_at = env.now
+        self.completed.append(info)
+        self._running -= 1
+        done.succeed(info)
+        # A container and possibly memory freed: retry the queue head.
+        self._drain()
+
+    # The baseline replenishes its prewarm stock in the background; we
+    # model a fixed initial stock only — under the paper's workloads the
+    # stock is consumed in the first seconds of a burst either way.

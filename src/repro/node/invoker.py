@@ -1,0 +1,236 @@
+"""The paper's invoker: priority queue + CPU-based container management.
+
+Differences from the stock OpenWhisk invoker (paper Sect. IV):
+
+1. queued calls are ordered by a :class:`~repro.scheduling.policies.
+   SchedulingPolicy` priority computed from node-local history, not FIFO;
+2. at most ``cores`` containers are busy at any time, each assigned
+   exactly one CPU core — the CPU is never oversubscribed, so the OS never
+   preempts a running call (a near non-preemptive model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.node.container import ContainerState
+from repro.node.docker import DockerDaemon
+from repro.node.memory import MemoryPool
+from repro.node.pool import ContainerPool
+from repro.scheduling.estimator import RuntimeEstimator
+from repro.scheduling.policies import SchedulingPolicy, make_policy
+from repro.scheduling.queue import StablePriorityQueue
+from repro.sim.cpu import SharedCPU, linear_overhead_efficiency
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.core import Environment
+    from repro.node.config import NodeConfig
+    from repro.workload.functions import FunctionSpec
+    from repro.workload.generator import Request
+
+__all__ = ["Invoker", "NodeCallInfo"]
+
+
+@dataclass
+class NodeCallInfo:
+    """Node-level timeline of one executed call."""
+
+    request: "Request"
+    invoker: str
+    received_at: float
+    dispatched_at: float = 0.0
+    exec_start: float = 0.0
+    exec_end: float = 0.0
+    finished_at: float = 0.0
+    #: Placement kind: hot / paused / prewarm / cold.
+    start_kind: str = ""
+    queue_length_at_receipt: int = 0
+
+    @property
+    def cold_start(self) -> bool:
+        return self.start_kind in ("cold", "prewarm")
+
+    @property
+    def processing_time(self) -> float:
+        """Node-measured execution duration (what the estimator sees)."""
+        return self.exec_end - self.exec_start
+
+    @property
+    def wait_time(self) -> float:
+        """Queueing delay at the invoker."""
+        return self.dispatched_at - self.received_at
+
+
+class Invoker:
+    """Our worker-node resource manager (paper Sect. IV).
+
+    Parameters
+    ----------
+    env, config:
+        Simulation environment and node configuration.
+    policy:
+        A policy name (``FIFO``/``SEPT``/``EECT``/``RECT``/``FC``) or a
+        ready :class:`SchedulingPolicy` instance.
+    name:
+        Diagnostic identifier (used in multi-node runs).
+    """
+
+    is_baseline = False
+
+    def __init__(
+        self,
+        env: "Environment",
+        config: "NodeConfig",
+        policy: "str | SchedulingPolicy" = "FIFO",
+        name: str = "invoker-0",
+    ) -> None:
+        self.env = env
+        self.config = config
+        self.name = name
+        self.cpu = SharedCPU(
+            env, config.cores, efficiency=linear_overhead_efficiency(config.kappa)
+        )
+        self.daemon = DockerDaemon(env, config)
+        self.memory = MemoryPool(config.memory_mb)
+        self.pool = ContainerPool(env, config, self.daemon, self.memory)
+        if isinstance(policy, SchedulingPolicy):
+            self.policy = policy
+        else:
+            estimator = RuntimeEstimator(
+                window=config.estimator_window, frequency_horizon=config.fc_horizon_s
+            )
+            self.policy = make_policy(policy, estimator)
+        self.queue: StablePriorityQueue = StablePriorityQueue()
+        self._busy = 0
+        self.completed: List[NodeCallInfo] = []
+        self.submitted = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def busy_count(self) -> int:
+        """Containers currently executing (or being arranged for) calls."""
+        return self._busy
+
+    @property
+    def queue_length(self) -> int:
+        return len(self.queue)
+
+    @property
+    def outstanding(self) -> int:
+        """Calls received but not yet finished."""
+        return self.submitted - len(self.completed)
+
+    def warm_up(self, specs: "List[FunctionSpec]", per_function: Optional[int] = None) -> None:
+        """Materialise the paper's warm-up (Sect. V-A): up to ``cores``
+        warm containers per function, and seed the estimator with idle
+        processing-time observations so ``E(p(i))`` is meaningful from the
+        first measured call."""
+        count = self.config.cores if per_function is None else per_function
+        for spec in specs:
+            self.pool.seed_warm(spec, count)
+            # What the node measured for each warm-up call: the function's
+            # idle execution time (its distribution median as the
+            # single-point summary).
+            for _ in range(min(count, self.config.estimator_window)):
+                self.policy.estimator.record_completion(
+                    spec.name, spec.service_distribution.median
+                )
+
+    def submit(self, request: "Request") -> Event:
+        """Receive a call (``r'(i)`` = now); returns an event that fires
+        with the call's :class:`NodeCallInfo` when the response leaves the
+        node."""
+        received_at = self.env.now
+        self.submitted += 1
+        done = Event(self.env)
+        info = NodeCallInfo(
+            request=request,
+            invoker=self.name,
+            received_at=received_at,
+            queue_length_at_receipt=len(self.queue),
+        )
+        priority = self.policy.on_received(request, received_at)
+        self.queue.push(priority, (request, info, done))
+        self._maybe_dispatch()
+        return done
+
+    # ------------------------------------------------------------------
+    def _maybe_dispatch(self) -> None:
+        limit = self.config.effective_busy_limit
+        while self._busy < limit and self.queue:
+            priority, (request, info, done) = self.queue.pop()
+            self._busy += 1
+            self.env.process(self._run(request, info, done, priority))
+
+    def _run(self, request: "Request", info: NodeCallInfo, done: Event, priority: float):
+        env = self.env
+        info.dispatched_at = env.now
+        if self.config.invoker_overhead_s:
+            yield env.timeout(self.config.invoker_overhead_s)
+
+        # -- arrange a container -----------------------------------------
+        plan = self.pool.acquire(request.function)
+        while plan is None:
+            # Memory exhausted and nothing evictable (all containers busy):
+            # wait briefly for a release.  With busy <= cores and bounded
+            # per-container memory this is rare by construction.
+            yield env.timeout(self.config.pause_grace_s)
+            plan = self.pool.acquire(request.function)
+        container = plan.container
+        info.start_kind = plan.kind
+
+        if plan.kind == "warm":
+            # Placing a call on a paused container costs a serialized docker
+            # cycle (cpu-limit update + unpause) that enforces the
+            # exactly-one-core guarantee.  A *hot* container (released
+            # within the pause grace, its limit already set) is free —
+            # which is how SEPT/FC same-function trains stay cheap.  The
+            # pipeline serves its operations in call-priority order (it is
+            # the same modified invoker that ordered the queue).
+            yield from self.daemon.op("dispatch", priority=priority)
+        elif plan.kind == "cold":
+            yield from self.daemon.op("create", priority=priority)
+            yield env.timeout(self.config.cold_init_latency_s)
+            if self.config.cold_init_cpu_s:
+                task = self.cpu.execute(self.config.cold_init_cpu_s, label="cold-init")
+                yield task.event
+        elif plan.kind == "prewarm":
+            yield from self.daemon.op("dispatch", priority=priority)
+            yield env.timeout(self.config.prewarm_init_latency_s)
+            if self.config.prewarm_init_cpu_s:
+                task = self.cpu.execute(self.config.prewarm_init_cpu_s, label="prewarm-init")
+                yield task.event
+        container.state = ContainerState.HOT
+
+        # -- execute the call (dedicated core; I/O idles the core) --------
+        system_work = self.config.system_cpu_coeff_s * max(
+            0, min(self._busy, self.config.cores) - 1
+        )
+        if system_work > 0:
+            # Contention-induced management work (docker exec, cgroup and
+            # logging interference with the other busy containers), billed
+            # to the call's core.  Happens before the in-container execution
+            # window the invoker measures, so the estimator sees the
+            # function's own duration (paper Sect. IV).
+            task = self.cpu.execute(system_work, weight=1.0, max_rate=1.0, label="system")
+            yield task.event
+        info.exec_start = env.now
+        if request.io_time > 0:
+            yield env.timeout(request.io_time)
+        if request.cpu_work > 0:
+            task = self.cpu.execute(
+                request.cpu_work, weight=1.0, max_rate=1.0, label=request.function.name
+            )
+            yield task.event
+        info.exec_end = env.now
+
+        # -- bookkeeping ---------------------------------------------------
+        self.policy.on_completed(request, info.processing_time)
+        self.pool.release(container)
+        info.finished_at = env.now
+        self.completed.append(info)
+        self._busy -= 1
+        done.succeed(info)
+        self._maybe_dispatch()

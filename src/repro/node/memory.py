@@ -1,0 +1,48 @@
+"""Memory-pool accounting for action containers."""
+
+from __future__ import annotations
+
+__all__ = ["MemoryPool"]
+
+
+class MemoryPool:
+    """Synchronous accounting of the node's action-container memory.
+
+    The pool never blocks: callers check :meth:`can_reserve` / free memory
+    by evicting before calling :meth:`reserve`.  This mirrors the OpenWhisk
+    invoker, which makes eviction decisions synchronously.
+    """
+
+    def __init__(self, capacity_mb: int) -> None:
+        if capacity_mb <= 0:
+            raise ValueError(f"capacity_mb must be positive, got {capacity_mb!r}")
+        self.capacity_mb = int(capacity_mb)
+        self.used_mb = 0
+        #: High-water mark, for diagnostics.
+        self.peak_used_mb = 0
+
+    @property
+    def free_mb(self) -> int:
+        return self.capacity_mb - self.used_mb
+
+    def can_reserve(self, amount_mb: int) -> bool:
+        return amount_mb <= self.free_mb
+
+    def reserve(self, amount_mb: int) -> None:
+        if amount_mb < 0:
+            raise ValueError("cannot reserve negative memory")
+        if amount_mb > self.free_mb:
+            raise MemoryError(
+                f"memory pool exhausted: need {amount_mb} MiB, free {self.free_mb} MiB"
+            )
+        self.used_mb += amount_mb
+        self.peak_used_mb = max(self.peak_used_mb, self.used_mb)
+
+    def release(self, amount_mb: int) -> None:
+        if amount_mb < 0:
+            raise ValueError("cannot release negative memory")
+        if amount_mb > self.used_mb:
+            raise ValueError(
+                f"releasing {amount_mb} MiB but only {self.used_mb} MiB in use"
+            )
+        self.used_mb -= amount_mb

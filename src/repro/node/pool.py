@@ -1,0 +1,255 @@
+"""Warm/prewarm container pools with LRU eviction.
+
+The pool makes synchronous placement decisions (which container serves a
+call; which idle containers to evict to free memory) and owns the
+baseline's hot→paused lifecycle timers.  Docker operations for placement
+(create, our invoker's dispatch cycle) are executed by the caller via the
+:class:`~repro.node.docker.DockerDaemon`; the pool itself fires the
+background pause and remove operations.
+
+Two reuse disciplines exist (see NodeConfig's rationale):
+
+* ``manage_pause=True`` (baseline): a container stays *hot* for a short
+  grace after a call and can be reused for free; it is then paused in the
+  background and must be unpaused (cheap, parallel) on reuse.
+* ``manage_pause=False`` (our invoker): the invoker enforces its CPU
+  guarantee with a serialized per-dispatch docker cycle, so hot reuse
+  does not exist — every released container immediately counts as paused
+  (without a daemon pause op: the dispatch cycle itself leaves the
+  container quiesced).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Literal, Optional
+
+from repro.node.container import Container, ContainerState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.core import Environment
+    from repro.node.config import NodeConfig
+    from repro.node.docker import DockerDaemon
+    from repro.node.memory import MemoryPool
+    from repro.workload.functions import FunctionSpec
+
+__all__ = ["AcquirePlan", "ContainerPool"]
+
+AcquireKind = Literal["hot", "warm", "prewarm", "cold"]
+
+
+@dataclass
+class AcquirePlan:
+    """Placement decision for one call.
+
+    ``kind`` tells the invoker which docker/init steps it still has to
+    perform before the container can run the call:
+
+    * ``hot`` — none (container still unpaused from its previous call);
+    * ``warm`` — revive a paused, initialized container;
+    * ``prewarm`` — function initialisation in a prewarmed runtime shell;
+    * ``cold`` — daemon ``create`` plus full in-container initialisation.
+    """
+
+    kind: AcquireKind
+    container: Container
+
+
+class ContainerPool:
+    """All containers of one worker node."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        config: "NodeConfig",
+        daemon: "DockerDaemon",
+        memory: "MemoryPool",
+        manage_pause: bool = True,
+    ) -> None:
+        self.env = env
+        self.config = config
+        self.daemon = daemon
+        self.memory = memory
+        self.manage_pause = manage_pause
+        #: All live containers (busy or warm), insertion order.
+        self.containers: List[Container] = []
+        #: Unspecialised prewarm shells.
+        self.prewarm_shells: List[Container] = []
+        # -- statistics ---------------------------------------------------
+        self.cold_starts = 0
+        self.prewarm_starts = 0
+        self.warm_hits = 0
+        self.hot_hits = 0
+        self.evictions = 0
+        self.creations = 0
+
+    # ------------------------------------------------------------------
+    # Bootstrap
+    # ------------------------------------------------------------------
+    def bootstrap_prewarm(self, count: Optional[int] = None) -> None:
+        """Stock prewarmed runtime shells at node start (no daemon time)."""
+        n = self.config.prewarm_stock if count is None else count
+        for _ in range(n):
+            if not self.memory.can_reserve(self.config.prewarm_memory_mb):
+                break
+            self.memory.reserve(self.config.prewarm_memory_mb)
+            shell = Container(None, self.config.prewarm_memory_mb, self.env.now)
+            shell.state = ContainerState.PAUSED
+            self.prewarm_shells.append(shell)
+
+    def seed_warm(self, spec: "FunctionSpec", count: int) -> int:
+        """Warm-up: directly materialise *count* paused, initialized
+        containers for *spec* (evicting LRU idle ones if memory requires).
+
+        Models the paper's unmeasured warm-up calls (Sect. V-A).  Returns
+        the number actually created.
+        """
+        created = 0
+        for _ in range(count):
+            if not self._ensure_memory(spec.memory_mb):
+                break
+            self.memory.reserve(spec.memory_mb)
+            container = Container(spec, spec.memory_mb, self.env.now)
+            container.state = ContainerState.PAUSED
+            self.containers.append(container)
+            created += 1
+        return created
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def warm_count(self, spec: "FunctionSpec") -> int:
+        """Idle warm containers currently available for *spec*."""
+        return sum(
+            1
+            for c in self.containers
+            if c.is_warm and c.function is not None and c.function.name == spec.name
+        )
+
+    def acquire(self, spec: "FunctionSpec", allow_prewarm: bool = True) -> Optional[AcquirePlan]:
+        """Claim a container for a call of *spec*, or None if impossible.
+
+        Preference order (paper Sect. III): hot container → paused warm
+        container → prewarm shell → new container.  The returned container
+        is already marked busy and its memory reserved.
+        """
+        # 1) warm container for this function: prefer HOT (free reuse),
+        #    then the most-recently-used paused one.
+        best_hot: Optional[Container] = None
+        best_paused: Optional[Container] = None
+        for c in self.containers:
+            if not c.is_warm or c.function is None or c.function.name != spec.name:
+                continue
+            if c.state is ContainerState.HOT:
+                if best_hot is None or c.last_used > best_hot.last_used:
+                    best_hot = c
+            else:
+                if best_paused is None or c.last_used > best_paused.last_used:
+                    best_paused = c
+        if best_hot is not None:
+            self._claim(best_hot)
+            self.hot_hits += 1
+            return AcquirePlan("hot", best_hot)
+        if best_paused is not None:
+            self._claim(best_paused)
+            self.warm_hits += 1
+            return AcquirePlan("warm", best_paused)
+
+        # 2) prewarm shell (runtime present, function not initialized).
+        if allow_prewarm and self.prewarm_shells:
+            delta = spec.memory_mb - self.config.prewarm_memory_mb
+            if delta <= 0 or self._ensure_memory(delta):
+                shell = self.prewarm_shells.pop()
+                if delta > 0:
+                    self.memory.reserve(delta)
+                elif delta < 0:
+                    self.memory.release(-delta)
+                shell.function = spec
+                shell.memory_mb = spec.memory_mb
+                shell.state = ContainerState.CREATING
+                shell.busy = True
+                shell.last_used = self.env.now
+                self.containers.append(shell)
+                self.prewarm_starts += 1
+                return AcquirePlan("prewarm", shell)
+
+        # 3) new container (full cold start), evicting idle LRU if needed.
+        if self._ensure_memory(spec.memory_mb):
+            self.memory.reserve(spec.memory_mb)
+            container = Container(spec, spec.memory_mb, self.env.now)
+            container.busy = True
+            self.containers.append(container)
+            self.cold_starts += 1
+            self.creations += 1
+            return AcquirePlan("cold", container)
+        return None
+
+    def release(self, container: Container) -> None:
+        """Return a container after a call.
+
+        Baseline (``manage_pause``): the container stays HOT for the pause
+        grace, then a background daemon ``pause`` moves it to PAUSED.
+        Our invoker: the container counts as paused immediately.
+        """
+        container.busy = False
+        container.last_used = self.env.now
+        container.calls_served += 1
+        container.pause_version += 1
+        if self.manage_pause:
+            container.state = ContainerState.HOT
+            self.env.process(self._pause_after_grace(container, container.pause_version))
+        else:
+            container.state = ContainerState.PAUSED
+
+    # ------------------------------------------------------------------
+    # Eviction
+    # ------------------------------------------------------------------
+    def idle_warm_containers(self) -> List[Container]:
+        """Evictable containers, least-recently-used first."""
+        idle = [c for c in self.containers if c.is_warm]
+        idle.sort(key=lambda c: c.last_used)
+        return idle
+
+    def evict(self, container: Container) -> None:
+        """Remove *container*: memory freed now, daemon ``remove`` queued."""
+        if container.busy:
+            raise ValueError(f"cannot evict busy container {container!r}")
+        container.state = ContainerState.DEAD
+        container.pause_version += 1
+        self.containers.remove(container)
+        self.memory.release(container.memory_mb)
+        self.evictions += 1
+        self.env.process(self.daemon.op("remove"))
+
+    def _ensure_memory(self, amount_mb: int) -> bool:
+        """Evict idle LRU containers until *amount_mb* fits; False if the
+        pool cannot free enough (all remaining containers busy)."""
+        if self.memory.can_reserve(amount_mb):
+            return True
+        for candidate in self.idle_warm_containers():
+            self.evict(candidate)
+            if self.memory.can_reserve(amount_mb):
+                return True
+        return self.memory.can_reserve(amount_mb)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _claim(self, container: Container) -> None:
+        container.busy = True
+        container.last_used = self.env.now
+        container.pause_version += 1  # invalidate pending pause timers
+
+    def _pause_after_grace(self, container: Container, version: int):
+        yield self.env.timeout(self.config.pause_grace_s)
+        if container.pause_version != version or container.busy:
+            return  # reused (or evicted) in the meantime
+        if container.state is not ContainerState.HOT:
+            return
+        container.state = ContainerState.PAUSING
+        yield from self.daemon.op("pause")
+        if container.pause_version == version and not container.busy:
+            if container.state is ContainerState.PAUSING:
+                container.state = ContainerState.PAUSED
+        # else: claimed mid-pause; the claimant's unpause happens after this
+        # op anyway (docker serializes per-container state changes).

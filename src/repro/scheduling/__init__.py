@@ -1,0 +1,46 @@
+"""Node-level scheduling policies — the paper's primary contribution.
+
+* :mod:`repro.scheduling.estimator` — the data-driven processing-time
+  estimator ``E(p(i))``: mean of the last ≤10 node-measured processing
+  times of the same function (0 for never-executed functions);
+* :mod:`repro.scheduling.policies` — the five queueing policies of
+  Sect. IV: FIFO, SEPT, EECT, RECT and Fair-Choice (FC);
+* :mod:`repro.scheduling.queue` — a stable priority queue (ties broken by
+  arrival order) used by the invoker.
+"""
+
+from repro.scheduling.estimator import RuntimeEstimator
+from repro.scheduling.policies import (
+    POLICIES,
+    EarliestExpectedCompletionTime,
+    FairChoice,
+    FirstInFirstOut,
+    RecentExpectedCompletionTime,
+    SchedulingPolicy,
+    ShortestExpectedProcessingTime,
+    make_policy,
+)
+from repro.scheduling.extra import (
+    EXTRA_POLICIES,
+    ClairvoyantSPT,
+    EtasLike,
+    RoundRobinPerFunction,
+)
+from repro.scheduling.queue import StablePriorityQueue
+
+__all__ = [
+    "ClairvoyantSPT",
+    "EarliestExpectedCompletionTime",
+    "EtasLike",
+    "EXTRA_POLICIES",
+    "FairChoice",
+    "FirstInFirstOut",
+    "POLICIES",
+    "RecentExpectedCompletionTime",
+    "RoundRobinPerFunction",
+    "RuntimeEstimator",
+    "SchedulingPolicy",
+    "ShortestExpectedProcessingTime",
+    "StablePriorityQueue",
+    "make_policy",
+]

@@ -1,0 +1,105 @@
+"""Data-driven processing-time estimation (paper Sect. IV).
+
+The invoker estimates a call's expected processing time ``E(p(i))`` by the
+average of the last (at most) 10 *node-measured* processing times of the
+same function — a window size the authors' earlier work [18] validated
+against the Azure trace.  A function that has never finished on this node
+has estimate 0 (paper Sect. IV-B), which makes unknown functions maximally
+attractive to SEPT-like policies (they are tried quickly, after which real
+data exists).
+
+The estimator also records per-function call-arrival history, used by the
+Fair-Choice policy (``#(f, -T)``: number of calls received in the last
+``T`` seconds) and the RECT policy (``r̄(i)``: receipt time of the previous
+call of the same function).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional
+
+__all__ = ["RuntimeEstimator", "DEFAULT_WINDOW"]
+
+#: Number of most recent processing times averaged (paper: "at most 10").
+DEFAULT_WINDOW = 10
+
+
+class RuntimeEstimator:
+    """Sliding-window runtime statistics for one worker node.
+
+    Parameters
+    ----------
+    window:
+        Maximum number of recent finished calls to average per function.
+    frequency_horizon:
+        ``T`` of the Fair-Choice policy: how far back (seconds) arrivals
+        are counted.  The paper suggests "a long time interval, e.g. 60 s".
+    """
+
+    def __init__(self, window: int = DEFAULT_WINDOW, frequency_horizon: float = 60.0) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window!r}")
+        if frequency_horizon <= 0:
+            raise ValueError(f"frequency_horizon must be positive, got {frequency_horizon!r}")
+        self.window = int(window)
+        self.frequency_horizon = float(frequency_horizon)
+        self._samples: Dict[str, Deque[float]] = {}
+        self._sums: Dict[str, float] = {}
+        self._arrivals: Dict[str, Deque[float]] = {}
+        self._last_arrival: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Processing-time estimate E(p(i))
+    # ------------------------------------------------------------------
+    def record_completion(self, function_name: str, processing_time: float) -> None:
+        """Record a finished call's node-measured processing time."""
+        if processing_time < 0:
+            raise ValueError(f"negative processing time {processing_time!r}")
+        samples = self._samples.get(function_name)
+        if samples is None:
+            samples = deque(maxlen=self.window)
+            self._samples[function_name] = samples
+            self._sums[function_name] = 0.0
+        if len(samples) == samples.maxlen:
+            self._sums[function_name] -= samples[0]
+        samples.append(processing_time)
+        self._sums[function_name] += processing_time
+
+    def expected_processing_time(self, function_name: str) -> float:
+        """``E(p(i))``: window-mean processing time; 0 if never executed."""
+        samples = self._samples.get(function_name)
+        if not samples:
+            return 0.0
+        return self._sums[function_name] / len(samples)
+
+    def sample_count(self, function_name: str) -> int:
+        samples = self._samples.get(function_name)
+        return len(samples) if samples else 0
+
+    # ------------------------------------------------------------------
+    # Arrival history (#(f, -T) and r̄)
+    # ------------------------------------------------------------------
+    def record_arrival(self, function_name: str, now: float) -> None:
+        """Record that a call of *function_name* was received at *now*.
+
+        Must be called **after** the policy computed the new call's
+        priority, so that ``r̄(i)`` refers to the *previous* call.
+        """
+        arrivals = self._arrivals.setdefault(function_name, deque())
+        arrivals.append(now)
+        self._last_arrival[function_name] = now
+
+    def recent_call_count(self, function_name: str, now: float) -> int:
+        """``#(f, -T)``: calls of *f* received within the last T seconds."""
+        arrivals = self._arrivals.get(function_name)
+        if not arrivals:
+            return 0
+        cutoff = now - self.frequency_horizon
+        while arrivals and arrivals[0] < cutoff:
+            arrivals.popleft()
+        return len(arrivals)
+
+    def previous_arrival(self, function_name: str) -> Optional[float]:
+        """``r̄(i)``: receipt time of the most recent call of *f*, or None."""
+        return self._last_arrival.get(function_name)

@@ -1,0 +1,55 @@
+"""A stable priority queue for the invoker.
+
+Ties on priority are broken by insertion order (receipt order), matching
+the behaviour of a priority queue fed by a single invoker thread.  The
+paper's FIFO policy relies on this: with priority = receipt time it
+degenerates to exact arrival ordering.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+__all__ = ["StablePriorityQueue"]
+
+T = TypeVar("T")
+
+
+class StablePriorityQueue(Generic[T]):
+    """A heap-based priority queue with FIFO tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, T]] = []
+        self._seq = count()
+
+    def push(self, priority: float, item: T) -> None:
+        """Insert *item* with *priority* (lower served first)."""
+        heapq.heappush(self._heap, (priority, next(self._seq), item))
+
+    def pop(self) -> Tuple[float, T]:
+        """Remove and return ``(priority, item)`` with the lowest priority.
+
+        Raises
+        ------
+        IndexError
+            If the queue is empty.
+        """
+        priority, _, item = heapq.heappop(self._heap)
+        return priority, item
+
+    def peek(self) -> Tuple[float, T]:
+        """Return (without removing) the lowest-priority entry."""
+        priority, _, item = self._heap[0]
+        return priority, item
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __iter__(self) -> Iterator[T]:
+        """Items in priority order (non-destructive)."""
+        return (item for _, _, item in sorted(self._heap))

@@ -1,0 +1,189 @@
+"""Event calendar and simulation clock.
+
+The :class:`Environment` owns a binary-heap calendar of ``(time, priority,
+sequence, event)`` entries.  Entries with equal time are popped in insertion
+order (FIFO), which makes simulations fully deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Generator, Optional
+
+__all__ = ["Environment", "SimulationError", "StopSimulation", "NORMAL", "URGENT"]
+
+#: Calendar priority for ordinary events.
+NORMAL = 1
+#: Calendar priority for events that must run before ordinary events
+#: scheduled at the same timestamp (e.g. process resumption).
+URGENT = 0
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (e.g. double-trigger)."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to halt :meth:`Environment.run` early."""
+
+    def __init__(self, value: Any = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class Environment:
+    """A discrete-event simulation environment.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulation clock (seconds).
+
+    Examples
+    --------
+    >>> env = Environment()
+    >>> def proc(env):
+    ...     yield env.timeout(5.0)
+    ...     return "done"
+    >>> p = env.process(proc(env))
+    >>> env.run()
+    >>> env.now
+    5.0
+    >>> p.value
+    'done'
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now: float = float(initial_time)
+        self._queue: list[tuple[float, int, int, "Event"]] = []
+        self._eid = count()
+        self._active_process: Optional["Process"] = None
+
+    # ------------------------------------------------------------------
+    # Clock & calendar
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional["Process"]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    def schedule(self, event: "Event", delay: float = 0.0, priority: int = NORMAL) -> None:
+        """Insert *event* into the calendar ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event in the past (delay={delay!r})")
+        heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if the calendar is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next calendar entry.
+
+        Raises
+        ------
+        SimulationError
+            If the calendar is empty.
+        """
+        try:
+            when, _prio, _eid, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise SimulationError("no scheduled events") from None
+        self._now = when
+        # Snapshot the callback list: an event's callbacks may legitimately
+        # register new callbacks on other events while running.
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event.ok and not event.defused:
+            # An unhandled failure propagates out of the event loop.
+            exc = event.value
+            raise exc if isinstance(exc, BaseException) else SimulationError(repr(exc))
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None`` — run until the calendar drains;
+            a number — run until the clock reaches that time;
+            an :class:`~repro.sim.events.Event` — run until it triggers, and
+            return its value.
+        """
+        from repro.sim.events import Event  # local import to avoid a cycle
+
+        stop_at: Optional[float] = None
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            if until.processed:
+                return until.value
+            until.callbacks.append(_stop_simulation)
+        else:
+            stop_at = float(until)
+            if stop_at < self._now:
+                raise SimulationError(
+                    f"until={stop_at!r} lies before the current time {self._now!r}"
+                )
+
+        try:
+            while self._queue:
+                if stop_at is not None and self._queue[0][0] > stop_at:
+                    self._now = stop_at
+                    return None
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+        if isinstance(until, Event) and not until.triggered:
+            raise SimulationError("simulation ended before the awaited event triggered")
+        if stop_at is not None:
+            self._now = stop_at
+        return None
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+    def event(self) -> "Event":
+        """Create a fresh, untriggered :class:`~repro.sim.events.Event`."""
+        from repro.sim.events import Event
+
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> "Timeout":
+        """Create a :class:`~repro.sim.events.Timeout` firing after *delay*."""
+        from repro.sim.events import Timeout
+
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> "Process":
+        """Start a new coroutine :class:`~repro.sim.process.Process`."""
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    def all_of(self, events) -> "AllOf":
+        from repro.sim.events import AllOf
+
+        return AllOf(self, events)
+
+    def any_of(self, events) -> "AnyOf":
+        from repro.sim.events import AnyOf
+
+        return AnyOf(self, events)
+
+
+def _stop_simulation(event: "Event") -> None:
+    """Calendar callback used by :meth:`Environment.run(until=event)`."""
+    raise StopSimulation(event.value)
+
+
+# Typing-only imports for annotations used above.
+from repro.sim.events import Event, Timeout, AllOf, AnyOf  # noqa: E402  (cycle-safe tail import)
+from repro.sim.process import Process  # noqa: E402

@@ -1,0 +1,250 @@
+"""A malleable, processor-sharing CPU bank.
+
+Models a multi-core worker node on which an arbitrary number of tasks
+(container workloads) execute concurrently.  Each task carries
+
+* ``work`` — demand in core-seconds,
+* ``weight`` — its fair-share weight (Linux CFS ``cpu.shares`` analogue;
+  OpenWhisk sets this proportional to container memory),
+* ``max_rate`` — an upper bound on the number of cores the task can use at
+  once (1.0 for a single-threaded function container).
+
+At every membership change the bank redistributes capacity by *capped
+water-filling*: capacity proportional to weight, truncated at ``max_rate``,
+with the surplus recursively redistributed.  An optional *efficiency*
+function models context-switching/management overhead: with ``n`` active
+tasks the bank delivers ``cores * efficiency(n, cores)`` core-seconds per
+second in total.  This is the mechanism by which CPU oversubscription (the
+OpenWhisk baseline) degrades, while the paper's 1-container-per-core policy
+(``n <= cores``, each at rate 1) is overhead-free.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional, Set
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.core import Environment
+
+__all__ = ["CpuTask", "SharedCPU", "linear_overhead_efficiency"]
+
+#: Remaining work below this threshold counts as finished (core-seconds).
+_EPS = 1e-9
+
+
+def linear_overhead_efficiency(kappa: float) -> Callable[[int, int], float]:
+    """Efficiency model ``1 / (1 + kappa * max(0, n - cores) / cores)``.
+
+    With ``kappa = 0`` the bank is perfectly work-conserving.  Positive
+    ``kappa`` charges a throughput tax that grows with oversubscription,
+    modelling OS context switches and docker management overhead
+    (paper Sect. IV-A).
+    """
+
+    if kappa < 0:
+        raise ValueError("kappa must be non-negative")
+
+    def efficiency(n_tasks: int, cores: int) -> float:
+        over = max(0, n_tasks - cores)
+        return 1.0 / (1.0 + kappa * over / cores)
+
+    return efficiency
+
+
+class CpuTask:
+    """A unit of CPU demand executing on a :class:`SharedCPU`.
+
+    Attributes
+    ----------
+    event:
+        Triggers (with the task) when the work completes.
+    rate:
+        Cores currently allocated; maintained by the bank.
+    """
+
+    __slots__ = ("work", "weight", "max_rate", "event", "rate", "started_at", "label")
+
+    def __init__(
+        self,
+        work: float,
+        weight: float,
+        max_rate: float,
+        event: Event,
+        started_at: float,
+        label: str = "",
+    ) -> None:
+        self.work = float(work)
+        self.weight = float(weight)
+        self.max_rate = float(max_rate)
+        self.event = event
+        self.rate = 0.0
+        self.started_at = started_at
+        self.label = label
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<CpuTask {self.label or id(self):#x} work={self.work:.4f} "
+            f"rate={self.rate:.3f}>"
+        )
+
+
+class SharedCPU:
+    """A bank of ``cores`` CPU cores shared by malleable tasks."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        cores: int,
+        efficiency: Optional[Callable[[int, int], float]] = None,
+    ) -> None:
+        if cores < 1:
+            raise ValueError(f"cores must be >= 1, got {cores!r}")
+        self.env = env
+        self.cores = int(cores)
+        self._efficiency = efficiency
+        self._tasks: Set[CpuTask] = set()
+        self._last_update = env.now
+        self._version = 0
+        # -- statistics ---------------------------------------------------
+        #: core-seconds of useful work delivered so far.
+        self.delivered_work = 0.0
+        #: integral of (cores - delivered rate) over time, i.e. idle core-seconds.
+        self.idle_core_seconds = 0.0
+        #: peak number of concurrently active tasks.
+        self.peak_tasks = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def active_tasks(self) -> int:
+        return len(self._tasks)
+
+    def utilization(self) -> float:
+        """Average fraction of the bank's cores kept busy since t=0."""
+        horizon = self.env.now
+        if horizon <= 0:
+            return 0.0
+        return self.delivered_work / (self.cores * horizon)
+
+    def execute(
+        self,
+        work: float,
+        weight: float = 1.0,
+        max_rate: float = 1.0,
+        label: str = "",
+    ) -> CpuTask:
+        """Submit *work* core-seconds; returns the task (``task.event`` fires
+        on completion)."""
+        if work < 0:
+            raise ValueError(f"work must be non-negative, got {work!r}")
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight!r}")
+        if max_rate <= 0:
+            raise ValueError(f"max_rate must be positive, got {max_rate!r}")
+        task = CpuTask(work, weight, min(max_rate, self.cores), Event(self.env),
+                       self.env.now, label)
+        self._advance()
+        if task.work <= _EPS:
+            task.event.succeed(task)
+            self._rebalance_and_arm()
+            return task
+        self._tasks.add(task)
+        self.peak_tasks = max(self.peak_tasks, len(self._tasks))
+        self._rebalance_and_arm()
+        return task
+
+    def cancel(self, task: CpuTask) -> None:
+        """Abort an unfinished task; its event fails with ``RuntimeError``."""
+        self._advance()
+        if task in self._tasks:
+            self._tasks.discard(task)
+            exc = RuntimeError("cpu task cancelled")
+            task.event.fail(exc)
+            task.event.defused = True
+            self._rebalance_and_arm()
+
+    # ------------------------------------------------------------------
+    def _advance(self) -> None:
+        """Account for work done since the last update."""
+        now = self.env.now
+        elapsed = now - self._last_update
+        if elapsed > 0:
+            total_rate = 0.0
+            for task in self._tasks:
+                done = task.rate * elapsed
+                task.work -= done
+                total_rate += task.rate
+            self.delivered_work += total_rate * elapsed
+            self.idle_core_seconds += max(0.0, (self.cores - total_rate)) * elapsed
+        self._last_update = now
+
+    def _finish_done(self) -> None:
+        done = [t for t in self._tasks if t.work <= _EPS]
+        for task in done:
+            self._tasks.discard(task)
+            task.work = 0.0
+            task.event.succeed(task)
+
+    def _rebalance(self) -> None:
+        """Capped water-filling of capacity across active tasks."""
+        n = len(self._tasks)
+        if n == 0:
+            return
+        eff = self._efficiency(n, self.cores) if self._efficiency else 1.0
+        capacity = self.cores * eff
+        pending = list(self._tasks)
+        # Fast path: everyone fits under their cap.
+        if sum(t.max_rate for t in pending) <= capacity:
+            for t in pending:
+                t.rate = t.max_rate
+            return
+        # Iterative water-filling: give proportional shares; freeze capped
+        # tasks at their cap and redistribute the remainder.
+        remaining = capacity
+        active = pending
+        while active:
+            weight_sum = sum(t.weight for t in active)
+            capped = []
+            for t in active:
+                share = remaining * t.weight / weight_sum
+                if share >= t.max_rate - 1e-12:
+                    capped.append(t)
+            if not capped:
+                for t in active:
+                    t.rate = remaining * t.weight / weight_sum
+                break
+            for t in capped:
+                t.rate = t.max_rate
+                remaining -= t.max_rate
+            active = [t for t in active if t not in capped]
+            if remaining <= 0:
+                for t in active:
+                    t.rate = 0.0
+                break
+
+    def _rebalance_and_arm(self) -> None:
+        self._finish_done()
+        self._rebalance()
+        self._arm_wake()
+
+    def _arm_wake(self) -> None:
+        """Schedule a wake-up at the earliest projected task completion."""
+        self._version += 1
+        version = self._version
+        horizon = None
+        for task in self._tasks:
+            if task.rate > 0:
+                eta = task.work / task.rate
+                if horizon is None or eta < horizon:
+                    horizon = eta
+        if horizon is None:
+            return
+        timeout = self.env.timeout(max(0.0, horizon))
+        timeout.callbacks.append(lambda _ev, v=version: self._on_wake(v))
+
+    def _on_wake(self, version: int) -> None:
+        if version != self._version:
+            return  # superseded by a later membership change
+        self._advance()
+        self._rebalance_and_arm()

@@ -1,0 +1,175 @@
+"""One-shot events and event combinators."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.core import Environment
+
+__all__ = ["Event", "Timeout", "Condition", "AllOf", "AnyOf", "PENDING"]
+
+#: Sentinel for "event not yet triggered".
+PENDING = object()
+
+
+class Event:
+    """A one-shot event.
+
+    Lifecycle: *pending* → (``succeed``/``fail``) *triggered* → *processed*
+    (once its callbacks have run from the calendar).
+
+    Attributes
+    ----------
+    callbacks:
+        List of callables invoked with the event when it is processed;
+        ``None`` once processed.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+        #: True if a failure has been marked as handled (will not crash the run).
+        self.defused = False
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed` or :meth:`fail` has been called."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have been run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once triggered."""
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception, if failed)."""
+        if self._value is PENDING:
+            raise AttributeError(f"value of {self!r} is not yet available")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with *value* and schedule it."""
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception and schedule it."""
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Mirror the state of another triggered *event* (callback helper)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` seconds after creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        super().__init__(env)
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        self.delay = float(delay)
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=self.delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Timeout delay={self.delay!r} at {id(self):#x}>"
+
+
+class Condition(Event):
+    """Triggers once ``evaluate(events, n_triggered)`` returns True.
+
+    Failure of any constituent event fails the condition immediately.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[List[Event], int], bool],
+        events: Iterable[Event],
+    ) -> None:
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("all events of a condition must share one environment")
+
+        if not self._events or self._evaluate(self._events, 0):
+            self.succeed(self._collect())
+            return
+
+        for event in self._events:
+            if event.processed:
+                self._check(event)
+            elif event.triggered:
+                # Triggered but still in the calendar: hook in before callbacks run.
+                event.callbacks.append(self._check)
+            else:
+                event.callbacks.append(self._check)
+
+    def _collect(self) -> dict:
+        """Values of all processed-and-ok constituent events, in order.
+
+        ``processed`` (not merely ``triggered``) is the right test: a
+        :class:`Timeout` carries its value from creation, but it has not
+        *happened* until its calendar entry is popped.
+        """
+        return {e: e.value for e in self._events if e.processed and e.ok}
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            event.defused = True
+            self.fail(event.value)
+            return
+        self._count += 1
+        if self._evaluate(self._events, self._count):
+            self.succeed(self._collect())
+
+
+class AllOf(Condition):
+    """Triggers when **all** constituent events have triggered."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, lambda evs, n: n >= len(evs), events)
+
+
+class AnyOf(Condition):
+    """Triggers when **any** constituent event has triggered."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, lambda evs, n: n >= 1, events)

@@ -1,0 +1,273 @@
+"""Queued resources: counting semaphores and object stores."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Tuple
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.core import Environment
+
+__all__ = [
+    "Resource",
+    "PriorityResource",
+    "Store",
+    "PriorityStore",
+    "StorePutEvent",
+    "StoreGetEvent",
+]
+
+
+class Request(Event):
+    """Pending acquisition of a :class:`Resource` slot.
+
+    Usable as a context manager: ``with res.request() as req: yield req``.
+    """
+
+    def __init__(self, resource: "Resource", priority: float = 0.0) -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        resource._enqueue(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.cancel()
+
+    def cancel(self) -> None:
+        """Release the slot (if granted) or withdraw the request."""
+        self.resource._cancel(self)
+
+
+class Resource:
+    """A counting semaphore with a FIFO wait queue.
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+    capacity:
+        Number of concurrently grantable slots (``>= 1``).
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity!r}")
+        self.env = env
+        self._capacity = int(capacity)
+        self._users: set[Request] = set()
+        self._queue: list[tuple[float, int, Request]] = []
+        self._seq = count()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of granted slots."""
+        return len(self._users)
+
+    @property
+    def queued(self) -> int:
+        """Number of waiting requests."""
+        return len(self._queue)
+
+    def request(self, priority: float = 0.0) -> Request:
+        """Queue a request for one slot.
+
+        For the plain :class:`Resource` the *priority* argument is ignored
+        (FIFO); :class:`PriorityResource` honours it (lower first).
+        """
+        return Request(self, priority)
+
+    # -- internals -------------------------------------------------------
+    def _sort_key(self, request: Request, seq: int) -> tuple[float, int]:
+        return (0.0, seq)  # FIFO
+
+    def _enqueue(self, request: Request) -> None:
+        seq = next(self._seq)
+        heapq.heappush(self._queue, (*self._sort_key(request, seq), request))
+        self._grant()
+
+    def _cancel(self, request: Request) -> None:
+        if request in self._users:
+            self._users.discard(request)
+            self._grant()
+        elif not request.triggered:
+            # Lazy removal: mark and skip at grant time.
+            request._withdrawn = True  # type: ignore[attr-defined]
+
+    def _grant(self) -> None:
+        while self._queue and len(self._users) < self._capacity:
+            *_, request = self._queue[0]
+            if getattr(request, "_withdrawn", False):
+                heapq.heappop(self._queue)
+                continue
+            heapq.heappop(self._queue)
+            self._users.add(request)
+            request.succeed()
+
+
+class PriorityResource(Resource):
+    """A :class:`Resource` whose waiters are served lowest-priority-first.
+
+    Ties broken FIFO.
+    """
+
+    def _sort_key(self, request: Request, seq: int) -> tuple[float, int]:
+        return (request.priority, seq)
+
+
+class StorePutEvent(Event):
+    """Pending insertion into a :class:`Store`."""
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.env)
+        self.item = item
+        store._put_queue.append(self)
+        store._dispatch()
+
+
+class StoreGetEvent(Event):
+    """Pending retrieval from a :class:`Store`.
+
+    Attributes
+    ----------
+    priority:
+        Used by :class:`PriorityStore` consumers; lower is served first.
+    """
+
+    def __init__(self, store: "Store", priority: float = 0.0) -> None:
+        super().__init__(store.env)
+        self.priority = priority
+        self._seq = next(store._seq)
+        store._get_queue.append(self)
+        store._dispatch()
+
+    def cancel(self) -> None:
+        """Withdraw an unfulfilled get."""
+        if not self.triggered:
+            self._withdrawn = True
+
+
+class Store:
+    """An unbounded (or bounded) FIFO store of arbitrary items."""
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: List[Any] = []
+        self._put_queue: List[StorePutEvent] = []
+        self._get_queue: List[StoreGetEvent] = []
+        self._seq = count()
+
+    def put(self, item: Any) -> StorePutEvent:
+        """Insert *item*; the returned event triggers once stored."""
+        return StorePutEvent(self, item)
+
+    def get(self, priority: float = 0.0) -> StoreGetEvent:
+        """Request one item; the returned event triggers with the item."""
+        return StoreGetEvent(self, priority)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    # -- internals -------------------------------------------------------
+    def _pop_item(self) -> Any:
+        return self.items.pop(0)
+
+    def _push_item(self, item: Any) -> None:
+        self.items.append(item)
+
+    def _next_getter(self) -> Optional[StoreGetEvent]:
+        while self._get_queue:
+            getter = self._get_queue[0]
+            if getattr(getter, "_withdrawn", False):
+                self._get_queue.pop(0)
+                continue
+            return getter
+        return None
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            # Admit pending puts while there is room.
+            while self._put_queue and len(self.items) < self.capacity:
+                put = self._put_queue.pop(0)
+                self._push_item(put.item)
+                put.succeed()
+                progress = True
+            # Serve pending gets while there are items.
+            while self.items:
+                getter = self._next_getter()
+                if getter is None:
+                    break
+                self._get_queue.remove(getter)
+                getter.succeed(self._pop_item())
+                progress = True
+
+
+class PriorityStore(Store):
+    """A store whose *items* are retrieved lowest-sort-key-first.
+
+    Items must be orderable (e.g. tuples ``(priority, seq, payload)``), or a
+    ``key`` callable can be supplied.  Insertion order breaks ties only if
+    the caller encodes a sequence number in the item, which
+    :mod:`repro.scheduling.queue` does.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        capacity: float = float("inf"),
+        key: Optional[Callable[[Any], Any]] = None,
+    ) -> None:
+        super().__init__(env, capacity)
+        self._key = key
+        self._heap_seq = count()
+        # items kept as a heap of (key, seq, item)
+        self._heap: List[Tuple[Any, int, Any]] = []
+
+    @property
+    def sorted_items(self) -> List[Any]:
+        """Items in retrieval order (non-destructive)."""
+        return [item for _, _, item in sorted(self._heap)]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def _push_item(self, item: Any) -> None:
+        sort_key = self._key(item) if self._key is not None else item
+        heapq.heappush(self._heap, (sort_key, next(self._heap_seq), item))
+        self.items = [entry[2] for entry in self._heap]  # keep .items coherent
+
+    def _pop_item(self) -> Any:
+        _, _, item = heapq.heappop(self._heap)
+        self.items = [entry[2] for entry in self._heap]
+        return item
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            while self._put_queue and len(self._heap) < self.capacity:
+                put = self._put_queue.pop(0)
+                self._push_item(put.item)
+                put.succeed()
+                progress = True
+            while self._heap:
+                getter = self._next_getter()
+                if getter is None:
+                    break
+                self._get_queue.remove(getter)
+                getter.succeed(self._pop_item())
+                progress = True

@@ -1,0 +1,47 @@
+"""Workload model: SeBS function catalog and request-burst generators.
+
+The paper drives its OpenWhisk deployment with the SeBS benchmark functions
+(Table I) called in 60-second uniform bursts of configurable *intensity*.
+We reproduce the workload synthetically:
+
+* :mod:`repro.workload.distributions` — a split log-normal service-time
+  model fitted exactly to the published 5th/50th/95th percentiles;
+* :mod:`repro.workload.functions` — :class:`FunctionSpec` and the Table-I
+  catalog (:func:`sebs_catalog`);
+* :mod:`repro.workload.generator` — burst scenarios and the paper's
+  intensity arithmetic (``|I| = 1.1 * cores * intensity``);
+* :mod:`repro.workload.scenarios` — named scenario builders for each
+  experiment (uniform grid, Fig.-5 skew, multi-node, Azure-like extension).
+"""
+
+from repro.workload.distributions import SplitLogNormal, fit_split_lognormal
+from repro.workload.functions import FunctionSpec, sebs_catalog, catalog_by_name
+from repro.workload.generator import (
+    BurstScenario,
+    Request,
+    requests_for_intensity,
+)
+from repro.workload.scenarios import (
+    azure_like_burst,
+    multi_node_burst,
+    skewed_burst,
+    uniform_burst,
+)
+from repro.workload.trace import TraceProfile, trace_scenario
+
+__all__ = [
+    "BurstScenario",
+    "FunctionSpec",
+    "Request",
+    "SplitLogNormal",
+    "azure_like_burst",
+    "catalog_by_name",
+    "fit_split_lognormal",
+    "multi_node_burst",
+    "requests_for_intensity",
+    "sebs_catalog",
+    "skewed_burst",
+    "trace_scenario",
+    "TraceProfile",
+    "uniform_burst",
+]

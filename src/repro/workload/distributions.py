@@ -1,0 +1,90 @@
+"""Service-time distributions fitted to published percentiles.
+
+Table I of the paper reports, per SeBS function, the 5th/50th/95th
+percentiles of the idle-system response time.  Several functions are
+strongly right-skewed (``uploader``: 184/192/405 ms), so a symmetric
+log-normal cannot match both tails.  We use a *split log-normal*: a
+standard normal draw ``z`` is scaled by ``sigma_low`` when negative and
+``sigma_high`` when positive, then exponentiated around the log-median.
+This matches all three published percentiles exactly (the 5th/95th
+percentiles of a standard normal are at z = ∓1.6448…).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SplitLogNormal", "fit_split_lognormal", "Z_95"]
+
+#: z-score of the 95th percentile of the standard normal distribution.
+Z_95 = 1.6448536269514722
+
+
+@dataclass(frozen=True)
+class SplitLogNormal:
+    """A two-piece log-normal distribution.
+
+    ``X = median * exp(sigma_low * z)`` for ``z < 0`` and
+    ``X = median * exp(sigma_high * z)`` for ``z >= 0``,
+    with ``z`` standard normal.
+
+    Attributes
+    ----------
+    median:
+        The distribution's median (seconds).
+    sigma_low, sigma_high:
+        Log-scale spreads of the lower/upper halves.
+    """
+
+    median: float
+    sigma_low: float
+    sigma_high: float
+
+    def __post_init__(self) -> None:
+        if self.median <= 0:
+            raise ValueError(f"median must be positive, got {self.median!r}")
+        if self.sigma_low < 0 or self.sigma_high < 0:
+            raise ValueError("sigmas must be non-negative")
+
+    def sample(self, rng: np.random.Generator, size: int | None = None) -> np.ndarray | float:
+        """Draw samples.  Returns a scalar when *size* is None."""
+        z = rng.standard_normal(size)
+        sigma = np.where(z < 0, self.sigma_low, self.sigma_high)
+        return self.median * np.exp(sigma * z)
+
+    def percentile(self, q: float) -> float:
+        """Exact value of the *q*-th percentile (0 < q < 100)."""
+        if not 0.0 < q < 100.0:
+            raise ValueError(f"q must lie in (0, 100), got {q!r}")
+        from math import sqrt
+
+        from repro.workload._normal import norm_ppf
+
+        z = norm_ppf(q / 100.0)
+        sigma = self.sigma_low if z < 0 else self.sigma_high
+        return self.median * float(np.exp(sigma * z))
+
+    @property
+    def mean(self) -> float:
+        """Analytic mean: each half contributes half a log-normal mean."""
+        # E[X] = m/2 * (exp(s_l^2/2) erfc(s_l/sqrt 2) + exp(s_h^2/2) erfc(-s_h/sqrt 2)) / 1
+        # Derivation: for z<0, E = m * E[exp(s_l z) | z<0] * P(z<0), etc.
+        from math import erfc, exp, sqrt
+
+        lower = exp(self.sigma_low**2 / 2.0) * erfc(self.sigma_low / sqrt(2.0))
+        upper = exp(self.sigma_high**2 / 2.0) * erfc(-self.sigma_high / sqrt(2.0))
+        return self.median * (lower + upper) / 2.0
+
+
+def fit_split_lognormal(p5: float, p50: float, p95: float) -> SplitLogNormal:
+    """Fit a :class:`SplitLogNormal` matching three percentiles exactly.
+
+    Parameters are the 5th, 50th and 95th percentiles (same time unit).
+    """
+    if not 0 < p5 <= p50 <= p95:
+        raise ValueError(f"need 0 < p5 <= p50 <= p95, got {(p5, p50, p95)!r}")
+    sigma_low = float(np.log(p50 / p5) / Z_95)
+    sigma_high = float(np.log(p95 / p50) / Z_95)
+    return SplitLogNormal(median=float(p50), sigma_low=sigma_low, sigma_high=sigma_high)

@@ -1,0 +1,121 @@
+"""Named scenario builders for the paper's experiments."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.workload.functions import FunctionSpec, sebs_catalog
+from repro.workload.generator import BURST_WINDOW_S, BurstScenario
+
+__all__ = ["uniform_burst", "skewed_burst", "multi_node_burst", "azure_like_burst"]
+
+
+def uniform_burst(
+    cores: int,
+    intensity: int,
+    rng: np.random.Generator,
+    catalog: Optional[Sequence[FunctionSpec]] = None,
+    window: float = BURST_WINDOW_S,
+) -> BurstScenario:
+    """The main experimental workload (paper Sect. V-B).
+
+    Each of the 11 catalog functions is called exactly ``0.1 * cores *
+    intensity`` times, uniformly over the 60-second window.
+    """
+    catalog = list(catalog) if catalog is not None else sebs_catalog()
+    per_function = 0.1 * cores * intensity
+    count = round(per_function)
+    if abs(per_function - count) > 1e-9:
+        count = int(np.ceil(per_function))
+    counts = [(spec, int(count)) for spec in catalog]
+    return BurstScenario.from_counts(
+        counts, rng, window=window, label=f"uniform c={cores} v={intensity}"
+    )
+
+
+def skewed_burst(
+    cores: int,
+    intensity: int,
+    rng: np.random.Generator,
+    rare_function: str = "dna-visualisation",
+    rare_count: int = 10,
+    catalog: Optional[Sequence[FunctionSpec]] = None,
+    window: float = BURST_WINDOW_S,
+) -> BurstScenario:
+    """The Fig.-5 fairness workload (paper Sect. VII-D).
+
+    Exactly ``rare_count`` calls of the long *rare_function*; all other
+    calls drawn uniformly at random among the remaining functions (no
+    partial-uniformity assumption), for the usual total of
+    ``1.1 * cores * intensity`` requests.
+    """
+    catalog = list(catalog) if catalog is not None else sebs_catalog()
+    total = round(0.1 * len(catalog) * cores * intensity)
+    if rare_count > total:
+        raise ValueError(f"rare_count={rare_count} exceeds total requests {total}")
+    others = [spec for spec in catalog if spec.name != rare_function]
+    if len(others) == len(catalog):
+        raise ValueError(f"function {rare_function!r} not in catalog")
+    rare_spec = next(spec for spec in catalog if spec.name == rare_function)
+
+    n_other = total - rare_count
+    draws = rng.integers(0, len(others), size=n_other)
+    counts = [(rare_spec, rare_count)]
+    for idx, spec in enumerate(others):
+        counts.append((spec, int(np.sum(draws == idx))))
+    return BurstScenario.from_counts(
+        counts, rng, window=window,
+        label=f"skewed c={cores} v={intensity} rare={rare_function}x{rare_count}",
+    )
+
+
+def multi_node_burst(
+    total_requests: int,
+    rng: np.random.Generator,
+    catalog: Optional[Sequence[FunctionSpec]] = None,
+    window: float = BURST_WINDOW_S,
+) -> BurstScenario:
+    """The multi-node workload (paper Sect. VIII): a fixed request count
+    (1320 for 10-core VMs, 2376 for 18-core VMs) split equally across the
+    11 functions, uniform over the window."""
+    catalog = list(catalog) if catalog is not None else sebs_catalog()
+    if total_requests % len(catalog):
+        raise ValueError(
+            f"total_requests={total_requests} not divisible by {len(catalog)} functions"
+        )
+    per_function = total_requests // len(catalog)
+    counts = [(spec, per_function) for spec in catalog]
+    return BurstScenario.from_counts(
+        counts, rng, window=window, label=f"multi-node n={total_requests}"
+    )
+
+
+def azure_like_burst(
+    cores: int,
+    intensity: int,
+    rng: np.random.Generator,
+    catalog: Optional[Sequence[FunctionSpec]] = None,
+    window: float = BURST_WINDOW_S,
+    zipf_exponent: float = 1.1,
+) -> BurstScenario:
+    """Extension (not a paper experiment): a Zipf-skewed call mix.
+
+    The Azure Functions trace the paper cites (Shahrad et al., ATC'20) shows
+    a heavily skewed call-frequency distribution: a few functions dominate.
+    We draw per-call functions from a Zipf law over the catalog ordered by
+    shortness (short functions most popular, mirroring the trace's
+    short-and-frequent mass), preserving the paper's total-count arithmetic.
+    """
+    catalog = list(catalog) if catalog is not None else sebs_catalog()
+    total = round(0.1 * len(catalog) * cores * intensity)
+    ordered = sorted(catalog, key=lambda spec: spec.p50)
+    ranks = np.arange(1, len(ordered) + 1, dtype=float)
+    weights = ranks ** (-zipf_exponent)
+    weights /= weights.sum()
+    draws = rng.choice(len(ordered), size=total, p=weights)
+    counts = [(spec, int(np.sum(draws == idx))) for idx, spec in enumerate(ordered)]
+    return BurstScenario.from_counts(
+        counts, rng, window=window, label=f"azure-like c={cores} v={intensity}"
+    )

@@ -1,0 +1,115 @@
+"""Synthetic trace workloads (extension; DESIGN.md §7).
+
+The paper motivates overload handling with the Azure Functions trace
+(Shahrad et al., ATC'20): request rates are uneven with short peaks, and
+per-function popularity is heavily skewed.  Real trace files are not
+redistributable, so this module generates *trace-shaped* synthetic
+workloads that exercise the same code paths:
+
+* a per-minute arrival-rate profile — baseline load plus a configurable
+  peak (the paper's 60-second burst is the special case of an infinite
+  peak-to-baseline ratio);
+* a Zipf-like function-popularity mix (short functions most popular,
+  mirroring the trace's mass of short, frequent invocations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.workload.functions import FunctionSpec, sebs_catalog
+from repro.workload.generator import BurstScenario, Request
+
+__all__ = ["TraceProfile", "trace_scenario"]
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """Shape of a synthetic request trace.
+
+    Attributes
+    ----------
+    duration_s:
+        Total trace length.
+    base_rate:
+        Steady-state arrival rate (requests/second).
+    peak_rate:
+        Arrival rate inside the peak window.
+    peak_start_s / peak_duration_s:
+        Where the peak sits.
+    zipf_exponent:
+        Popularity skew across the catalog (0 = uniform).
+    """
+
+    duration_s: float = 300.0
+    base_rate: float = 2.0
+    peak_rate: float = 20.0
+    peak_start_s: float = 120.0
+    peak_duration_s: float = 60.0
+    zipf_exponent: float = 1.1
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if self.base_rate < 0 or self.peak_rate < 0:
+            raise ValueError("rates must be non-negative")
+        if not 0 <= self.peak_start_s <= self.duration_s:
+            raise ValueError("peak_start_s outside the trace")
+        if self.peak_duration_s < 0:
+            raise ValueError("peak_duration_s must be non-negative")
+        if self.zipf_exponent < 0:
+            raise ValueError("zipf_exponent must be non-negative")
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous arrival rate at time *t*."""
+        if self.peak_start_s <= t < self.peak_start_s + self.peak_duration_s:
+            return self.peak_rate
+        return self.base_rate
+
+    @property
+    def max_rate(self) -> float:
+        return max(self.base_rate, self.peak_rate)
+
+
+def trace_scenario(
+    profile: TraceProfile,
+    rng: np.random.Generator,
+    catalog: Optional[Sequence[FunctionSpec]] = None,
+    label: str = "trace",
+) -> BurstScenario:
+    """Generate a trace-shaped scenario via a thinned Poisson process.
+
+    Arrivals follow a non-homogeneous Poisson process with the profile's
+    rate function; each arrival's function is drawn from a Zipf-like mix
+    over the catalog ordered by shortness (short = popular).
+    """
+    catalog = list(catalog) if catalog is not None else sebs_catalog()
+    ordered = sorted(catalog, key=lambda spec: spec.p50)
+    ranks = np.arange(1, len(ordered) + 1, dtype=float)
+    if profile.zipf_exponent > 0:
+        weights = ranks ** (-profile.zipf_exponent)
+    else:
+        weights = np.ones_like(ranks)
+    weights /= weights.sum()
+
+    # Thinning: propose at max_rate, accept with rate(t)/max_rate.
+    requests: List[Request] = []
+    rid = 0
+    t = 0.0
+    max_rate = profile.max_rate
+    if max_rate <= 0:
+        return BurstScenario(requests=[], window=profile.duration_s, label=label)
+    while True:
+        t += float(rng.exponential(1.0 / max_rate))
+        if t >= profile.duration_s:
+            break
+        if rng.random() > profile.rate_at(t) / max_rate:
+            continue
+        spec = ordered[int(rng.choice(len(ordered), p=weights))]
+        service = float(spec.service_distribution.sample(rng))
+        requests.append(Request(rid, spec, t, service))
+        rid += 1
+    return BurstScenario(requests=requests, window=profile.duration_s, label=label)

@@ -1,0 +1,95 @@
+"""Tests for the load balancers."""
+
+import pytest
+
+from repro.cluster.controller import (
+    BALANCERS,
+    HashOverflowBalancer,
+    LeastLoadedBalancer,
+    RoundRobinBalancer,
+    make_balancer,
+)
+from repro.workload.functions import catalog_by_name
+from repro.workload.generator import Request
+
+
+class FakeInvoker:
+    def __init__(self, outstanding=0, cores=10):
+        self.outstanding = outstanding
+        self.config = type("Cfg", (), {"cores": cores})()
+
+
+def req(name="graph-bfs", rid=0):
+    return Request(rid, catalog_by_name()[name], 0.0, 1.0)
+
+
+class TestRoundRobin:
+    def test_cycles(self):
+        balancer = RoundRobinBalancer([FakeInvoker() for _ in range(3)])
+        picks = [balancer.pick(req(rid=i)) for i in range(7)]
+        assert picks == [0, 1, 2, 0, 1, 2, 0]
+
+
+class TestLeastLoaded:
+    def test_picks_minimum(self):
+        invokers = [FakeInvoker(5), FakeInvoker(1), FakeInvoker(3)]
+        balancer = LeastLoadedBalancer(invokers)
+        assert balancer.pick(req()) == 1
+
+    def test_tie_breaks_by_index(self):
+        invokers = [FakeInvoker(2), FakeInvoker(2)]
+        balancer = LeastLoadedBalancer(invokers)
+        assert balancer.pick(req()) == 0
+
+
+class TestHashOverflow:
+    def test_same_function_same_home_when_idle(self):
+        invokers = [FakeInvoker() for _ in range(4)]
+        balancer = HashOverflowBalancer(invokers)
+        picks = {balancer.pick(req(rid=i)) for i in range(5)}
+        assert len(picks) == 1  # deterministic home
+
+    def test_different_functions_spread(self):
+        invokers = [FakeInvoker() for _ in range(4)]
+        balancer = HashOverflowBalancer(invokers)
+        homes = {
+            name: balancer.pick(req(name))
+            for name in ("graph-bfs", "sleep", "dna-visualisation", "uploader",
+                         "compression", "thumbnailer")
+        }
+        assert len(set(homes.values())) > 1
+
+    def test_overflow_to_next(self):
+        invokers = [FakeInvoker(outstanding=100, cores=10) for _ in range(3)]
+        balancer = HashOverflowBalancer(invokers, capacity_factor=2.0)
+        home = HashOverflowBalancer([FakeInvoker() for _ in range(3)]).pick(req("sleep"))
+        invokers_partial = [FakeInvoker(100, 10) for _ in range(3)]
+        invokers_partial[(home + 1) % 3] = FakeInvoker(0, 10)
+        balancer = HashOverflowBalancer(invokers_partial, capacity_factor=2.0)
+        assert balancer.pick(req("sleep")) == (home + 1) % 3
+
+    def test_all_overloaded_falls_back_to_least_loaded(self):
+        invokers = [FakeInvoker(90, 10), FakeInvoker(50, 10), FakeInvoker(70, 10)]
+        balancer = HashOverflowBalancer(invokers, capacity_factor=2.0)
+        assert balancer.pick(req()) == 1
+
+    def test_invalid_capacity_factor(self):
+        with pytest.raises(ValueError):
+            HashOverflowBalancer([FakeInvoker()], capacity_factor=0.0)
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(BALANCERS) == {"round-robin", "least-loaded", "hash-overflow"}
+
+    def test_make_balancer(self):
+        balancer = make_balancer("round-robin", [FakeInvoker()])
+        assert isinstance(balancer, RoundRobinBalancer)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_balancer("magic", [FakeInvoker()])
+
+    def test_empty_invokers_rejected(self):
+        with pytest.raises(ValueError):
+            RoundRobinBalancer([])

@@ -1,0 +1,31 @@
+"""Tests for the network/middleware latency model."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.network import NetworkModel
+
+
+class TestNetworkModel:
+    def test_defaults_sum_to_paper_overhead(self):
+        # Table I includes "ca. 10 ms Kafka overhead" round trip.
+        net = NetworkModel()
+        assert net.round_trip_s == pytest.approx(0.010)
+
+    def test_deterministic_without_jitter(self):
+        net = NetworkModel()
+        assert net.request_delay() == net.request_delay() == 0.005
+
+    def test_jitter_requires_rng(self):
+        with pytest.raises(ValueError):
+            NetworkModel(jitter_s=0.001)
+
+    def test_jitter_varies_and_stays_nonnegative(self):
+        net = NetworkModel(jitter_s=0.01, rng=np.random.default_rng(0))
+        delays = [net.request_delay() for _ in range(200)]
+        assert len(set(delays)) > 1
+        assert all(d >= 0.0 for d in delays)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel(request_latency_s=-0.001)

@@ -1,0 +1,87 @@
+"""Integration tests for the FaaSPlatform façade."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.controller import RoundRobinBalancer
+from repro.cluster.network import NetworkModel
+from repro.cluster.platform import FaaSPlatform
+from repro.node.config import NodeConfig
+from repro.node.invoker import Invoker
+from repro.sim.core import Environment
+from repro.workload.functions import sebs_catalog
+from repro.workload.scenarios import uniform_burst
+
+
+def build(env, n_invokers=1, policy="FIFO", cores=4):
+    config = NodeConfig(cores=cores, memory_mb=16384)
+    invokers = [
+        Invoker(env, config, policy=policy, name=f"node-{i}") for i in range(n_invokers)
+    ]
+    for invoker in invokers:
+        invoker.warm_up(sebs_catalog())
+    return invokers
+
+
+class TestPlatform:
+    def test_every_request_gets_a_record(self):
+        env = Environment()
+        invokers = build(env)
+        scenario = uniform_burst(4, 10, np.random.default_rng(0))
+        platform = FaaSPlatform(env, invokers)
+        records = platform.run_scenario(scenario)
+        assert len(records) == len(scenario)
+        assert [r.rid for r in records] == sorted(r.rid for r in scenario)
+
+    def test_empty_scenario(self):
+        env = Environment()
+        invokers = build(env)
+        scenario = uniform_burst(4, 10, np.random.default_rng(0))
+        scenario.requests = []
+        platform = FaaSPlatform(env, invokers)
+        assert platform.run_scenario(scenario) == []
+
+    def test_response_time_includes_network_overhead(self):
+        env = Environment()
+        invokers = build(env)
+        network = NetworkModel(request_latency_s=0.1, response_latency_s=0.2)
+        scenario = uniform_burst(4, 10, np.random.default_rng(0))
+        platform = FaaSPlatform(env, invokers, network=network)
+        records = platform.run_scenario(scenario)
+        assert all(r.response_time >= 0.3 for r in records)
+
+    def test_received_at_is_release_plus_request_leg(self):
+        env = Environment()
+        invokers = build(env)
+        scenario = uniform_burst(4, 10, np.random.default_rng(0))
+        platform = FaaSPlatform(env, invokers)
+        records = platform.run_scenario(scenario)
+        for record in records:
+            assert record.received_at == pytest.approx(record.release_time + 0.005)
+
+    def test_multi_invoker_round_robin_spreads_load(self):
+        env = Environment()
+        invokers = build(env, n_invokers=3)
+        scenario = uniform_burst(4, 30, np.random.default_rng(0))
+        platform = FaaSPlatform(env, invokers, balancer=RoundRobinBalancer(invokers))
+        records = platform.run_scenario(scenario)
+        by_invoker = {name: 0 for name in ("node-0", "node-1", "node-2")}
+        for record in records:
+            by_invoker[record.invoker] += 1
+        counts = list(by_invoker.values())
+        assert max(counts) - min(counts) <= 1
+
+    def test_no_invokers_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            FaaSPlatform(env, [])
+
+    def test_completions_cover_all_functions(self):
+        env = Environment()
+        invokers = build(env)
+        scenario = uniform_burst(4, 10, np.random.default_rng(1))
+        platform = FaaSPlatform(env, invokers)
+        records = platform.run_scenario(scenario)
+        assert {r.function_name for r in records} == {
+            s.name for s in sebs_catalog()
+        }

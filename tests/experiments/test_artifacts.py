@@ -1,0 +1,80 @@
+"""Tests for grid slicing and the artifact builders."""
+
+import pytest
+
+from repro.experiments.artifacts import (
+    fig3_from_grid,
+    fig4_from_grid,
+    table2_from_grid,
+    table3_from_grid,
+)
+from repro.experiments.grid import GridSpec, run_grid
+
+
+@pytest.fixture(scope="module")
+def tiny_grid():
+    spec = GridSpec(
+        cores=(4,), intensities=(10,), strategies=("baseline", "FIFO", "SEPT"),
+        seeds=(1, 2),
+    )
+    return run_grid(spec)
+
+
+class TestGrid:
+    def test_cells_complete(self, tiny_grid):
+        assert set(tiny_grid.cells) == {
+            (4, 10, "baseline"), (4, 10, "FIFO"), (4, 10, "SEPT")
+        }
+        for results in tiny_grid.cells.values():
+            assert len(results) == 2
+
+    def test_pooled_records(self, tiny_grid):
+        pooled = tiny_grid.pooled_records(4, 10, "FIFO")
+        assert len(pooled) == 2 * 44  # 2 seeds x 1.1*4*10 requests
+
+    def test_summary_over_pool(self, tiny_grid):
+        stats = tiny_grid.summary(4, 10, "SEPT")
+        assert stats.n_calls == 88
+
+    def test_per_seed_summaries(self, tiny_grid):
+        summaries = tiny_grid.per_seed_summaries(4, 10, "FIFO")
+        assert len(summaries) == 2
+        assert all(s.n_calls == 44 for s in summaries)
+
+    def test_boxes(self, tiny_grid):
+        rbox = tiny_grid.response_box(4, 10, "FIFO")
+        sbox = tiny_grid.stretch_box(4, 10, "FIFO")
+        assert rbox.n == sbox.n == 88
+        assert rbox.q1 <= rbox.median <= rbox.q3
+
+    def test_makespans(self, tiny_grid):
+        assert len(tiny_grid.makespans(4, 10, "baseline")) == 2
+
+    def test_quick_spec(self):
+        spec = GridSpec.quick()
+        assert len(list(spec.cells())) == 2 * 4  # 2 intensities x 4 strategies
+
+
+class TestArtifacts:
+    def test_table2_ranges(self, tiny_grid):
+        result = table2_from_grid(tiny_grid)
+        lo, hi = result.ranges[(4, 10)]
+        assert 0 < lo <= hi
+        assert "FIFO" in result.render()
+
+    def test_table3_render(self, tiny_grid):
+        out = table3_from_grid(tiny_grid).render()
+        assert "Table III" in out and "SEPT" in out
+
+    def test_table4_per_seed_render(self, tiny_grid):
+        out = table3_from_grid(tiny_grid, per_seed=True).render()
+        assert "Table IV" in out and "#2" in out
+
+    def test_fig3_fig4_boxes(self, tiny_grid):
+        fig3 = fig3_from_grid(tiny_grid)
+        fig4 = fig4_from_grid(tiny_grid)
+        assert fig3.metric == "response_time"
+        assert fig4.metric == "stretch"
+        assert (4, 10, "FIFO") in fig3.boxes
+        assert "Fig. 3" in fig3.render()
+        assert "Fig. 4" in fig4.render()

@@ -1,0 +1,49 @@
+"""Tests for experiment configurations."""
+
+import pytest
+
+from repro.experiments.config import BASELINE, ExperimentConfig, MultiNodeConfig
+
+
+class TestExperimentConfig:
+    def test_is_baseline(self):
+        assert ExperimentConfig(cores=10, intensity=30, policy="baseline").is_baseline
+        assert ExperimentConfig(cores=10, intensity=30, policy="BASELINE").is_baseline
+        assert not ExperimentConfig(cores=10, intensity=30, policy="SEPT").is_baseline
+
+    def test_node_config_carries_overrides(self):
+        cfg = ExperimentConfig(
+            cores=10, intensity=30, node_overrides=(("kappa", 0.5), ("busy_limit", 15))
+        )
+        node = cfg.node_config()
+        assert node.kappa == 0.5 and node.busy_limit == 15 and node.cores == 10
+
+    def test_with_replaces(self):
+        cfg = ExperimentConfig(cores=10, intensity=30, seed=1)
+        assert cfg.with_(seed=7).seed == 7
+        assert cfg.seed == 1  # original untouched
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(cores=10, intensity=30, scenario="chaos")
+
+    def test_label(self):
+        cfg = ExperimentConfig(cores=10, intensity=30, policy="FC", seed=3)
+        assert "FC" in cfg.label() and "seed=3" in cfg.label()
+
+
+class TestMultiNodeConfig:
+    def test_node_config(self):
+        cfg = MultiNodeConfig(nodes=3, cores_per_node=18, total_requests=2376)
+        node = cfg.node_config()
+        assert node.cores == 18 and node.memory_mb == 40960
+
+    def test_invalid_nodes(self):
+        with pytest.raises(ValueError):
+            MultiNodeConfig(nodes=0, cores_per_node=10, total_requests=1320)
+
+    def test_is_baseline(self):
+        cfg = MultiNodeConfig(
+            nodes=2, cores_per_node=10, total_requests=1320, policy=BASELINE
+        )
+        assert cfg.is_baseline

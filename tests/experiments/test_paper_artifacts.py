@@ -1,0 +1,105 @@
+"""Tests for the per-artifact experiment modules (scaled-down runs)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ablate_busy_limit,
+    ablate_estimator_window,
+)
+from repro.experiments.fig2_coldstarts import run_fig2
+from repro.experiments.fig5_fairness import run_fig5
+from repro.experiments.fig6_multinode import REQUESTS_FOR_CORES, run_fig6
+from repro.experiments.paper_data import (
+    TABLE1_MEDIANS_MS,
+    TABLE2_RATIO_RANGES,
+    TABLE3,
+    TABLE5,
+)
+from repro.experiments.table1 import run_table1
+from repro.workload.functions import sebs_catalog
+
+
+class TestPaperData:
+    def test_table1_covers_catalog(self):
+        assert set(TABLE1_MEDIANS_MS) == {s.name for s in sebs_catalog()}
+
+    def test_table2_covers_full_grid(self):
+        assert len(TABLE2_RATIO_RANGES) == 15  # 3 cores x 5 intensities
+        for lo, hi in TABLE2_RATIO_RANGES.values():
+            assert 0 < lo <= hi
+
+    def test_table3_covers_full_grid(self):
+        assert len(TABLE3) == 90  # 3 x 5 x 6
+        strategies = {key[2] for key in TABLE3}
+        assert strategies == {"baseline", "FIFO", "SEPT", "EECT", "RECT", "FC"}
+
+    def test_table3_values_sane(self):
+        for key, (r_avg, r_p50, r_p95, s_avg, s_p50, mk) in TABLE3.items():
+            assert 0 < r_avg <= mk, key
+            assert r_p50 <= r_p95, key
+            assert s_p50 <= s_avg * 10, key
+
+    def test_table5_covers_multi_node_grid(self):
+        assert len(TABLE5) == 16  # 4 node counts x 2 core sizes x 2 strategies
+
+
+class TestTable1:
+    def test_idle_benchmark_matches_catalog(self):
+        result = run_table1(calls_per_function=15)
+        for spec in sebs_catalog():
+            p5, p50, p95 = result.percentiles[spec.name]
+            assert p5 <= p50 <= p95
+            # Within 15% + 5ms of the published median.
+            assert p50 == pytest.approx(spec.p50, rel=0.15, abs=0.005)
+        assert "Table I" in result.render()
+
+
+class TestFig2:
+    def test_sweep_shapes(self):
+        result = run_fig2(memories_mb=(8192, 32768), intensities=(30, 120))
+        fifo_large = dict(result.series("FIFO", 120))[32768]
+        fifo_small = dict(result.series("FIFO", 120))[8192]
+        assert fifo_large == 0 < fifo_small
+        base_counts = dict(result.series("baseline", 120))
+        assert base_counts[32768] > 0.5 * result.totals[120]
+        assert "Fig. 2" in result.render()
+
+
+class TestFig5:
+    def test_quick_run_structure(self):
+        result = run_fig5(strategies=("SEPT", "FC"), seeds=(1,))
+        assert set(result.all_calls) == {"SEPT", "FC"}
+        assert result.rare_calls["FC"].n == 10  # exactly 10 dna calls
+        assert "Fig. 5" in result.render()
+
+
+class TestFig6:
+    def test_request_count_constants(self):
+        # 4 nodes x 11 functions x cores x intensity-30 arithmetic.
+        assert REQUESTS_FOR_CORES[10] == 1320
+        assert REQUESTS_FOR_CORES[18] == 2376
+
+    def test_quick_run_structure(self):
+        result = run_fig6(cores_per_node=4, node_counts=(2, 1), seeds=(1,))
+        assert set(result.stats) == {
+            (2, "baseline"), (2, "FC"), (1, "baseline"), (1, "FC"),
+        }
+        for stats in result.stats.values():
+            assert stats["p50"] <= stats["p95"] <= stats["max"]
+        assert "multi-node" in result.render()
+
+    def test_fewer_nodes_slower(self):
+        result = run_fig6(cores_per_node=4, node_counts=(4, 1), seeds=(1,))
+        assert result.stat(1, "FC", "avg") > result.stat(4, "FC", "avg")
+
+
+class TestAblations:
+    def test_estimator_window_rows(self):
+        result = ablate_estimator_window(windows=(1, 10), cores=4, intensity=30)
+        assert [row[0] for row in result.rows] == [1, 10]
+        assert all(row[1] > 0 for row in result.rows)
+        assert "Ablation" in result.render()
+
+    def test_busy_limit_rows(self):
+        result = ablate_busy_limit(factors=(1.0, 2.0), cores=4, intensity=30)
+        assert [row[0] for row in result.rows] == [1.0, 2.0]

@@ -1,0 +1,53 @@
+"""Tests for the experiment registry and the CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.registry import EXPERIMENTS, experiment_ids, run_registered
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        expected = {
+            "table1", "fig2", "fig3", "fig4", "table2", "table3", "table4",
+            "fig5", "fig6", "ablations",
+        }
+        assert set(experiment_ids()) == expected
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError):
+            run_registered("fig99")
+
+    def test_descriptions_present(self):
+        for _, (description, _) in EXPERIMENTS.items():
+            assert description
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "fig6" in out
+
+    def test_simulate(self, capsys):
+        code = main([
+            "simulate", "--cores", "4", "--intensity", "10",
+            "--policy", "SEPT", "--seed", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SEPT" in out and "R.avg" in out and "cold starts" in out
+
+    def test_simulate_baseline(self, capsys):
+        assert main([
+            "simulate", "--cores", "4", "--intensity", "10", "--policy", "baseline",
+        ]) == 0
+        assert "baseline" in capsys.readouterr().out
+
+    def test_parser_rejects_bad_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--policy", "LIFO"])
+
+    def test_parser_rejects_bad_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])

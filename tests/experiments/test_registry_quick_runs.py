@@ -1,0 +1,30 @@
+"""End-to-end smoke runs of the fast registered artifacts through the CLI
+path (`run_registered`).  The heavyweight grids are exercised by the
+benchmark suite; here we pin that the cheap artifacts produce coherent
+reports.
+"""
+
+import pytest
+
+from repro.experiments.registry import run_registered
+
+
+class TestQuickRegistryRuns:
+    def test_table1_report(self):
+        report = run_registered("table1", quick=True)
+        assert "Table I" in report
+        assert "dna-visualisation" in report
+
+    def test_ablations_report(self):
+        report = run_registered("ablations", quick=True)
+        assert "Ablation" in report
+        assert "window" in report
+
+
+class TestCliRun(object):
+    def test_cli_run_table1(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "measured p5/p50/p95" in out

@@ -1,0 +1,57 @@
+"""Tests for ASCII box-plot rendering."""
+
+import pytest
+
+from repro.metrics.ascii import render_boxplot
+from repro.metrics.stats import box_stats
+
+
+class TestRenderBoxplot:
+    def _entries(self):
+        return [
+            ("FIFO", box_stats([10, 20, 30, 40, 50])),
+            ("SEPT", box_stats([1, 2, 3, 4, 5])),
+        ]
+
+    def test_contains_labels_and_glyphs(self):
+        out = render_boxplot(self._entries(), title="demo")
+        assert "FIFO" in out and "SEPT" in out
+        assert "demo" in out
+        # Median always drawn; the mean marker may coincide with it.
+        assert "[" in out and "]" in out and "#" in out
+
+    def test_mean_marker_when_distinct_from_median(self):
+        skewed = [("skew", box_stats([1.0] * 9 + [100.0]))]
+        out = render_boxplot(skewed)
+        assert "*" in out and "#" in out
+
+    def test_axis_annotation(self):
+        out = render_boxplot(self._entries())
+        assert "axis: linear" in out
+
+    def test_log_scale(self):
+        entries = [("x", box_stats([1, 10, 100, 1000]))]
+        out = render_boxplot(entries, log_scale=True)
+        assert "axis: log10" in out
+
+    def test_rows_aligned(self):
+        out = render_boxplot(self._entries())
+        plot_lines = [l for l in out.splitlines() if "med=" in l]
+        starts = {line.index("|") for line in plot_lines if "|" in line}
+        assert len(plot_lines) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_boxplot([])
+
+    def test_narrow_width_rejected(self):
+        with pytest.raises(ValueError):
+            render_boxplot(self._entries(), width=5)
+
+    def test_degenerate_distribution(self):
+        out = render_boxplot([("const", box_stats([2.0, 2.0, 2.0]))])
+        assert "med=2" in out
+
+    def test_unit_suffix(self):
+        out = render_boxplot(self._entries(), unit="s")
+        assert "med=3s" in out or "med=30s" in out

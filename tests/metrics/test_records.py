@@ -1,0 +1,51 @@
+"""Tests for CallRecord derived metrics."""
+
+import pytest
+
+from repro.metrics.records import CallRecord
+
+
+def record(**overrides) -> CallRecord:
+    fields = dict(
+        rid=0,
+        function_name="graph-bfs",
+        invoker="node-0",
+        release_time=10.0,
+        received_at=10.005,
+        dispatched_at=12.0,
+        exec_start=12.1,
+        exec_end=12.2,
+        completed_at=12.21,
+        service_time=0.1,
+        reference_response_time=0.012,
+        cold_start=False,
+        start_kind="warm",
+    )
+    fields.update(overrides)
+    return CallRecord(**fields)
+
+
+class TestCallRecord:
+    def test_response_time(self):
+        # R(i) = c(i) - r(i), paper Sect. II.
+        assert record().response_time == pytest.approx(2.21)
+
+    def test_stretch(self):
+        # S(i) = R(i) / reference median, paper Sect. II / V-A.
+        assert record().stretch == pytest.approx(2.21 / 0.012)
+
+    def test_stretch_can_be_below_one(self):
+        # The paper notes stretch < 1 is possible because the reference is
+        # the idle-system *median*.
+        fast = record(completed_at=10.011)
+        assert fast.stretch < 1.0
+
+    def test_wait_time(self):
+        assert record().wait_time == pytest.approx(12.0 - 10.005)
+
+    def test_processing_time(self):
+        assert record().processing_time == pytest.approx(0.1)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            record().rid = 5  # type: ignore[misc]

@@ -1,0 +1,51 @@
+"""Tests for text report rendering."""
+
+from repro.metrics.report import format_ratio, format_table, render_summary_table
+from repro.metrics.stats import summarize
+from tests.metrics.test_records import record
+
+
+class TestFormatTable:
+    def test_contains_headers_and_rows(self):
+        out = format_table(["a", "b"], [[1, 2.5], ["x", 1234.5]])
+        assert "a" in out and "b" in out
+        assert "1,234" in out or "1234" in out
+        assert "x" in out
+
+    def test_title(self):
+        out = format_table(["h"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_alignment_consistent(self):
+        out = format_table(["col"], [[1], [22], [333]])
+        lines = out.splitlines()
+        assert len({len(line) for line in lines}) == 1  # rectangular
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.123456], [12.3456], [0]])
+        assert "0.12" in out
+        assert "12.3" in out
+
+
+class TestSummaryTable:
+    def _stats(self):
+        return summarize(
+            [record(rid=i, completed_at=10.0 + i + 1.0) for i in range(5)]
+        )
+
+    def test_renders_all_configs(self):
+        out = render_summary_table([("cfg-a", self._stats()), ("cfg-b", self._stats())])
+        assert "cfg-a" in out and "cfg-b" in out
+        assert "R.avg" in out and "S.p99" in out
+
+    def test_without_stretch(self):
+        out = render_summary_table([("cfg", self._stats())], include_stretch=False)
+        assert "S.avg" not in out
+
+
+class TestFormatRatio:
+    def test_ratio_rendering(self):
+        assert "(x2.00)" in format_ratio(4.0, 2.0)
+
+    def test_zero_measured(self):
+        assert "->" in format_ratio(4.0, 0.0)

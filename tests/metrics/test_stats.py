@@ -1,0 +1,108 @@
+"""Tests for summary statistics and box stats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.stats import BoxStats, box_stats, percentile, summarize
+from tests.metrics.test_records import record
+
+
+class TestPercentile:
+    def test_median_of_odd_list(self):
+        assert percentile([1, 2, 3], 50) == 2.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 1.0], 50) == 0.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=100))
+    @settings(max_examples=100)
+    def test_percentile_bounds_property(self, values):
+        for q in (0, 25, 50, 75, 95, 100):
+            p = percentile(values, q)
+            assert min(values) <= p <= max(values)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=100))
+    @settings(max_examples=100)
+    def test_percentile_monotone_in_q(self, values):
+        ps = [percentile(values, q) for q in (5, 25, 50, 75, 95)]
+        assert all(a <= b + 1e-12 for a, b in zip(ps, ps[1:]))
+
+
+class TestBoxStats:
+    def test_quartiles(self):
+        box = box_stats(list(range(1, 101)))
+        assert box.q1 == pytest.approx(25.75)
+        assert box.median == pytest.approx(50.5)
+        assert box.q3 == pytest.approx(75.25)
+        assert box.n == 100
+
+    def test_whiskers_clip_outliers(self):
+        values = [1.0] * 50 + [2.0] * 50 + [1000.0]
+        box = box_stats(values)
+        assert box.whisker_high < 1000.0
+
+    def test_whiskers_span_data_without_outliers(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        box = box_stats(values)
+        assert box.whisker_low == 1.0
+        assert box.whisker_high == 5.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            box_stats([])
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200))
+    @settings(max_examples=100)
+    def test_box_invariants_property(self, values):
+        box = box_stats(values)
+        assert box.whisker_low <= box.q1 <= box.median <= box.q3 <= box.whisker_high
+        eps = 1e-9 * (1.0 + max(values))
+        assert min(values) - eps <= box.mean <= max(values) + eps
+
+
+class TestSummarize:
+    def _records(self, n=10):
+        return [
+            record(rid=i, completed_at=10.0 + (i + 1) * 1.0, release_time=10.0)
+            for i in range(n)
+        ]
+
+    def test_counts_and_mean(self):
+        stats = summarize(self._records(4))  # responses 1,2,3,4
+        assert stats.n_calls == 4
+        assert stats.mean_response_time == pytest.approx(2.5)
+
+    def test_percentile_keys(self):
+        stats = summarize(self._records())
+        assert set(stats.response_time_percentiles) == {50, 75, 95, 99}
+        assert set(stats.stretch_percentiles) == {50, 75, 95, 99}
+
+    def test_max_completion(self):
+        stats = summarize(self._records(5))
+        assert stats.max_completion_time == pytest.approx(15.0)
+
+    def test_cold_start_count(self):
+        records = self._records(3) + [record(rid=99, cold_start=True)]
+        assert summarize(records).cold_starts == 1
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_as_row_layout(self):
+        stats = summarize(self._records())
+        row = stats.as_row()
+        assert len(row) == 11  # R avg + 4 pcts, S avg + 4 pcts, max c(i)
+        assert row[0] == stats.mean_response_time
+        assert row[-1] == stats.max_completion_time
+
+    def test_stretch_consistent_with_reference(self):
+        records = [record(rid=0, completed_at=11.2, release_time=10.0)]
+        stats = summarize(records)
+        assert stats.mean_stretch == pytest.approx(1.2 / 0.012)

@@ -1,0 +1,40 @@
+"""Shared fixtures for node-layer tests."""
+
+import pytest
+
+from repro.node.config import NodeConfig
+from repro.sim.core import Environment
+from repro.workload.functions import catalog_by_name
+from repro.workload.generator import Request
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def config():
+    """A small, fast node: 2 cores, modest memory, cheap docker ops."""
+    return NodeConfig(
+        cores=2,
+        memory_mb=4096,
+        dispatch_op_s=0.05,
+        create_op_s=0.2,
+        remove_op_s=0.02,
+        pause_op_s=0.05,
+        pause_grace_s=0.5,
+        cold_init_latency_s=0.1,
+        cold_init_cpu_s=0.1,
+        invoker_overhead_s=0.0,
+        system_cpu_coeff_s=0.0,
+    )
+
+
+@pytest.fixture
+def catalog():
+    return catalog_by_name()
+
+
+def make_request(catalog, name="graph-bfs", rid=0, release=0.0, service=0.1):
+    return Request(rid, catalog[name], release, service)

@@ -1,0 +1,46 @@
+"""Tests for NodeConfig validation."""
+
+import pytest
+
+from repro.node.config import NodeConfig
+
+
+class TestNodeConfig:
+    def test_defaults_valid(self):
+        cfg = NodeConfig(cores=10)
+        assert cfg.cores == 10
+        assert cfg.memory_mb == 32768
+        assert cfg.effective_busy_limit == 10
+
+    def test_busy_limit_override(self):
+        cfg = NodeConfig(cores=10, busy_limit=25)
+        assert cfg.effective_busy_limit == 25
+
+    def test_invalid_cores(self):
+        with pytest.raises(ValueError):
+            NodeConfig(cores=0)
+
+    def test_invalid_memory(self):
+        with pytest.raises(ValueError):
+            NodeConfig(cores=2, memory_mb=100)
+
+    def test_negative_durations_rejected(self):
+        with pytest.raises(ValueError):
+            NodeConfig(cores=2, create_op_s=-0.1)
+        with pytest.raises(ValueError):
+            NodeConfig(cores=2, kappa=-1.0)
+        with pytest.raises(ValueError):
+            NodeConfig(cores=2, system_cpu_coeff_s=-0.5)
+
+    def test_invalid_busy_limit(self):
+        with pytest.raises(ValueError):
+            NodeConfig(cores=2, busy_limit=0)
+
+    def test_invalid_estimator_window(self):
+        with pytest.raises(ValueError):
+            NodeConfig(cores=2, estimator_window=0)
+
+    def test_frozen(self):
+        cfg = NodeConfig(cores=2)
+        with pytest.raises(Exception):
+            cfg.cores = 4  # type: ignore[misc]

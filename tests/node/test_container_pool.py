@@ -1,0 +1,197 @@
+"""Tests for container lifecycle and the warm/prewarm pools."""
+
+import pytest
+
+from repro.node.container import Container, ContainerState
+from repro.node.docker import DockerDaemon
+from repro.node.memory import MemoryPool
+from repro.node.pool import ContainerPool
+from repro.workload.functions import catalog_by_name
+
+
+def make_pool(env, config, memory_mb=None, manage_pause=True):
+    memory = MemoryPool(memory_mb or config.memory_mb)
+    daemon = DockerDaemon(env, config)
+    return ContainerPool(env, config, daemon, memory, manage_pause=manage_pause), memory
+
+
+class TestSeeding:
+    def test_seed_warm_creates_paused_containers(self, env, config, catalog):
+        pool, memory = make_pool(env, config)
+        created = pool.seed_warm(catalog["graph-bfs"], 3)
+        assert created == 3
+        assert pool.warm_count(catalog["graph-bfs"]) == 3
+        assert all(c.state is ContainerState.PAUSED for c in pool.containers)
+        assert memory.used_mb == 3 * catalog["graph-bfs"].memory_mb
+
+    def test_seed_warm_respects_memory(self, env, config, catalog):
+        pool, memory = make_pool(env, config, memory_mb=300)
+        created = pool.seed_warm(catalog["dna-visualisation"], 5)  # 512 MiB each
+        assert created == 0
+
+    def test_seeding_evicts_lru_when_full(self, env, config, catalog):
+        pool, memory = make_pool(env, config, memory_mb=1024)
+        pool.seed_warm(catalog["graph-bfs"], 8)  # 8 * 128 = 1024 -> full
+        pool.seed_warm(catalog["sleep"], 2)  # evicts 2 bfs seeds
+        assert pool.warm_count(catalog["sleep"]) == 2
+        assert pool.warm_count(catalog["graph-bfs"]) == 6
+        assert pool.evictions == 2
+
+    def test_bootstrap_prewarm(self, env, config, catalog):
+        pool, memory = make_pool(env, config)
+        pool.bootstrap_prewarm(3)
+        assert len(pool.prewarm_shells) == 3
+        assert memory.used_mb == 3 * config.prewarm_memory_mb
+
+
+class TestAcquire:
+    def test_cold_when_empty(self, env, config, catalog):
+        pool, _ = make_pool(env, config)
+        plan = pool.acquire(catalog["graph-bfs"], allow_prewarm=False)
+        assert plan.kind == "cold"
+        assert plan.container.busy
+        assert pool.cold_starts == 1
+
+    def test_warm_preferred_over_cold(self, env, config, catalog):
+        pool, _ = make_pool(env, config)
+        pool.seed_warm(catalog["graph-bfs"], 1)
+        plan = pool.acquire(catalog["graph-bfs"])
+        assert plan.kind == "warm"
+        assert pool.cold_starts == 0
+
+    def test_hot_preferred_over_paused(self, env, config, catalog):
+        pool, _ = make_pool(env, config)
+        pool.seed_warm(catalog["graph-bfs"], 2)
+        plan1 = pool.acquire(catalog["graph-bfs"])
+        pool.release(plan1.container)  # now HOT (manage_pause grace)
+        plan2 = pool.acquire(catalog["graph-bfs"])
+        assert plan2.kind == "hot"
+        assert plan2.container is plan1.container
+
+    def test_no_hot_without_manage_pause(self, env, config, catalog):
+        pool, _ = make_pool(env, config, manage_pause=False)
+        pool.seed_warm(catalog["graph-bfs"], 1)
+        plan1 = pool.acquire(catalog["graph-bfs"])
+        pool.release(plan1.container)
+        assert plan1.container.state is ContainerState.PAUSED
+        plan2 = pool.acquire(catalog["graph-bfs"])
+        assert plan2.kind == "warm"
+
+    def test_prewarm_used_before_cold(self, env, config, catalog):
+        pool, _ = make_pool(env, config)
+        pool.bootstrap_prewarm(1)
+        plan = pool.acquire(catalog["sleep"])
+        assert plan.kind == "prewarm"
+        assert plan.container.function is catalog["sleep"]
+        assert pool.prewarm_starts == 1
+        assert not pool.prewarm_shells
+
+    def test_prewarm_memory_delta_reserved(self, env, config, catalog):
+        pool, memory = make_pool(env, config)
+        pool.bootstrap_prewarm(1)  # 256 MiB shell
+        before = memory.used_mb
+        pool.acquire(catalog["dna-visualisation"])  # 512 MiB function
+        assert memory.used_mb == before + (512 - 256)
+
+    def test_busy_container_not_reused(self, env, config, catalog):
+        pool, _ = make_pool(env, config)
+        pool.seed_warm(catalog["graph-bfs"], 1)
+        pool.acquire(catalog["graph-bfs"])
+        plan2 = pool.acquire(catalog["graph-bfs"], allow_prewarm=False)
+        assert plan2.kind == "cold"
+
+    def test_acquire_fails_when_memory_exhausted_by_busy(self, env, config, catalog):
+        pool, _ = make_pool(env, config, memory_mb=256)
+        plan = pool.acquire(catalog["sleep"], allow_prewarm=False)  # 128 MiB busy
+        assert plan is not None
+        plan2 = pool.acquire(catalog["dna-visualisation"], allow_prewarm=False)
+        assert plan2 is None  # 512 MiB needed, only 128 free, nothing evictable
+
+    def test_wrong_function_warm_not_matched(self, env, config, catalog):
+        pool, _ = make_pool(env, config)
+        pool.seed_warm(catalog["sleep"], 1)
+        plan = pool.acquire(catalog["graph-bfs"], allow_prewarm=False)
+        assert plan.kind == "cold"
+
+
+class TestEviction:
+    def test_evict_frees_memory_and_counts(self, env, config, catalog):
+        pool, memory = make_pool(env, config)
+        pool.seed_warm(catalog["sleep"], 1)
+        container = pool.containers[0]
+        pool.evict(container)
+        assert memory.used_mb == 0
+        assert container.state is ContainerState.DEAD
+        assert pool.evictions == 1
+        env.run()  # let the daemon remove op finish
+        assert pool.daemon.op_counts["remove"] == 1
+
+    def test_cannot_evict_busy(self, env, config, catalog):
+        pool, _ = make_pool(env, config)
+        plan = pool.acquire(catalog["sleep"], allow_prewarm=False)
+        with pytest.raises(ValueError):
+            pool.evict(plan.container)
+
+    def test_lru_order(self, env, config, catalog):
+        pool, _ = make_pool(env, config)
+        pool.seed_warm(catalog["sleep"], 1)
+        first = pool.containers[0]
+
+        def use_later(env):
+            yield env.timeout(1.0)
+            plan = pool.acquire(catalog["sleep"])
+            yield env.timeout(0.1)
+            pool.release(plan.container)
+
+        env.process(use_later(env))
+        env.run(until=2.0)
+        pool.seed_warm(catalog["graph-bfs"], 2)
+        idle = pool.idle_warm_containers()
+        # graph-bfs seeds are newest; `first` (sleep, reused at t=1.0)
+        # should not be the LRU head if another older existed; with one
+        # sleep container it is simply ordered by last_used.
+        assert idle[0].last_used <= idle[-1].last_used
+
+
+class TestPauseLifecycle:
+    def test_hot_container_pauses_after_grace(self, env, config, catalog):
+        pool, _ = make_pool(env, config)
+        pool.seed_warm(catalog["graph-bfs"], 1)
+        plan = pool.acquire(catalog["graph-bfs"])
+        pool.release(plan.container)
+        assert plan.container.state is ContainerState.HOT
+        env.run()  # grace + pause op
+        assert plan.container.state is ContainerState.PAUSED
+
+    def test_reuse_within_grace_cancels_pause(self, env, config, catalog):
+        pool, _ = make_pool(env, config)
+        pool.seed_warm(catalog["graph-bfs"], 1)
+
+        def scenario(env):
+            plan = pool.acquire(catalog["graph-bfs"])
+            pool.release(plan.container)
+            yield env.timeout(config.pause_grace_s / 2)
+            plan2 = pool.acquire(catalog["graph-bfs"])
+            assert plan2.kind == "hot"
+            yield env.timeout(10.0)  # long past original grace
+            assert plan2.container.busy
+
+        env.process(scenario(env))
+        env.run()
+
+    def test_release_without_manage_pause_pauses_immediately(self, env, config, catalog):
+        pool, _ = make_pool(env, config, manage_pause=False)
+        pool.seed_warm(catalog["graph-bfs"], 1)
+        plan = pool.acquire(catalog["graph-bfs"])
+        pool.release(plan.container)
+        assert plan.container.state is ContainerState.PAUSED
+        env.run()
+        assert pool.daemon.op_counts["pause"] == 0  # no daemon pause op
+
+    def test_calls_served_counter(self, env, config, catalog):
+        pool, _ = make_pool(env, config)
+        pool.seed_warm(catalog["graph-bfs"], 1)
+        for _ in range(3):
+            plan = pool.acquire(catalog["graph-bfs"])
+            pool.release(plan.container)
+        assert plan.container.calls_served == 3

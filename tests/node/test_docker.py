@@ -1,0 +1,107 @@
+"""Tests for the serialized docker-daemon model."""
+
+import pytest
+
+from repro.node.config import NodeConfig
+from repro.node.docker import DockerDaemon
+from repro.sim.core import Environment
+
+
+@pytest.fixture
+def setup():
+    env = Environment()
+    config = NodeConfig(cores=2, create_op_s=1.0, dispatch_op_s=0.5, pause_op_s=0.25,
+                        remove_op_s=0.1)
+    return env, DockerDaemon(env, config)
+
+
+class TestDockerDaemon:
+    def test_single_op_duration(self, setup):
+        env, daemon = setup
+        done = {}
+
+        def proc(env):
+            yield from daemon.op("create")
+            done["t"] = env.now
+
+        env.process(proc(env))
+        env.run()
+        assert done["t"] == pytest.approx(1.0)
+        assert daemon.op_counts["create"] == 1
+
+    def test_ops_serialize(self, setup):
+        env, daemon = setup
+        finished = []
+
+        def proc(env, kind):
+            yield from daemon.op(kind)
+            finished.append((kind, env.now))
+
+        env.process(proc(env, "create"))
+        env.process(proc(env, "dispatch"))
+        env.run()
+        # dispatch waits for the 1.0s create, then takes 0.5s.
+        assert finished == [("create", pytest.approx(1.0)), ("dispatch", pytest.approx(1.5))]
+
+    def test_priority_order(self, setup):
+        env, daemon = setup
+        finished = []
+
+        def proc(env, kind, priority, delay):
+            if delay:
+                yield env.timeout(delay)
+            yield from daemon.op(kind, priority=priority)
+            finished.append(kind)
+
+        # While the first create runs, a low-priority dispatch jumps ahead
+        # of an earlier-enqueued high-priority one.
+        env.process(proc(env, "create", 0.0, 0.0))
+        env.process(proc(env, "pause", 100.0, 0.1))
+        env.process(proc(env, "dispatch", 1.0, 0.2))
+        env.run()
+        assert finished == ["create", "dispatch", "pause"]
+
+    def test_default_priority_is_enqueue_time(self, setup):
+        env, daemon = setup
+        finished = []
+
+        def proc(env, tag, delay):
+            if delay:
+                yield env.timeout(delay)
+            yield from daemon.op("remove")
+            finished.append(tag)
+
+        env.process(proc(env, "first", 0.0))
+        env.process(proc(env, "second", 0.01))
+        env.process(proc(env, "third", 0.02))
+        env.run()
+        assert finished == ["first", "second", "third"]
+
+    def test_unknown_op_rejected(self, setup):
+        env, daemon = setup
+        with pytest.raises(KeyError):
+            daemon.duration_of("explode")
+
+    def test_utilization_and_busy_seconds(self, setup):
+        env, daemon = setup
+
+        def proc(env):
+            yield from daemon.op("create")
+            yield env.timeout(1.0)  # idle gap
+
+        env.process(proc(env))
+        env.run()
+        assert daemon.busy_seconds == pytest.approx(1.0)
+        assert daemon.utilization() == pytest.approx(0.5)
+
+    def test_queue_length(self, setup):
+        env, daemon = setup
+
+        def worker(env):
+            yield from daemon.op("create")
+
+        env.process(worker(env))
+        env.process(worker(env))
+        env.process(worker(env))
+        env.run(until=0.5)
+        assert daemon.queue_length == 2

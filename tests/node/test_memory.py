@@ -1,0 +1,49 @@
+"""Tests for the memory pool."""
+
+import pytest
+
+from repro.node.memory import MemoryPool
+
+
+class TestMemoryPool:
+    def test_reserve_release_roundtrip(self):
+        pool = MemoryPool(1024)
+        pool.reserve(512)
+        assert pool.used_mb == 512 and pool.free_mb == 512
+        pool.release(512)
+        assert pool.used_mb == 0
+
+    def test_can_reserve(self):
+        pool = MemoryPool(1024)
+        assert pool.can_reserve(1024)
+        assert not pool.can_reserve(1025)
+
+    def test_overcommit_raises(self):
+        pool = MemoryPool(256)
+        pool.reserve(200)
+        with pytest.raises(MemoryError):
+            pool.reserve(100)
+
+    def test_over_release_raises(self):
+        pool = MemoryPool(256)
+        pool.reserve(100)
+        with pytest.raises(ValueError):
+            pool.release(200)
+
+    def test_negative_amounts_rejected(self):
+        pool = MemoryPool(256)
+        with pytest.raises(ValueError):
+            pool.reserve(-1)
+        with pytest.raises(ValueError):
+            pool.release(-1)
+
+    def test_peak_tracking(self):
+        pool = MemoryPool(1024)
+        pool.reserve(700)
+        pool.release(600)
+        pool.reserve(100)
+        assert pool.peak_used_mb == 700
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            MemoryPool(0)

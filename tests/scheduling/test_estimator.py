@@ -1,0 +1,111 @@
+"""Tests for the sliding-window runtime estimator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scheduling.estimator import RuntimeEstimator
+
+
+class TestProcessingTimeEstimate:
+    def test_unknown_function_estimates_zero(self):
+        # Paper Sect. IV-B: "if a function has never been executed, we set
+        # its estimated execution time to 0".
+        est = RuntimeEstimator()
+        assert est.expected_processing_time("never-seen") == 0.0
+
+    def test_single_sample(self):
+        est = RuntimeEstimator()
+        est.record_completion("f", 2.0)
+        assert est.expected_processing_time("f") == pytest.approx(2.0)
+
+    def test_mean_of_samples(self):
+        est = RuntimeEstimator()
+        for value in (1.0, 2.0, 3.0):
+            est.record_completion("f", value)
+        assert est.expected_processing_time("f") == pytest.approx(2.0)
+
+    def test_window_drops_oldest(self):
+        est = RuntimeEstimator(window=3)
+        for value in (10.0, 1.0, 1.0, 1.0):
+            est.record_completion("f", value)
+        assert est.expected_processing_time("f") == pytest.approx(1.0)
+
+    def test_default_window_is_ten(self):
+        # Paper: "at most 10 recent executions", validated in [18].
+        est = RuntimeEstimator()
+        for _ in range(10):
+            est.record_completion("f", 100.0)
+        est.record_completion("f", 0.0)
+        # Window now holds nine 100s and one 0 -> mean 90.
+        assert est.expected_processing_time("f") == pytest.approx(90.0)
+        assert est.sample_count("f") == 10
+
+    def test_functions_independent(self):
+        est = RuntimeEstimator()
+        est.record_completion("a", 1.0)
+        est.record_completion("b", 9.0)
+        assert est.expected_processing_time("a") == pytest.approx(1.0)
+        assert est.expected_processing_time("b") == pytest.approx(9.0)
+
+    def test_negative_time_rejected(self):
+        est = RuntimeEstimator()
+        with pytest.raises(ValueError):
+            est.record_completion("f", -1.0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            RuntimeEstimator(window=0)
+        with pytest.raises(ValueError):
+            RuntimeEstimator(frequency_horizon=0.0)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=60))
+    @settings(max_examples=100)
+    def test_estimate_is_window_mean_property(self, values):
+        est = RuntimeEstimator(window=10)
+        for v in values:
+            est.record_completion("f", v)
+        window = values[-10:]
+        assert est.expected_processing_time("f") == pytest.approx(
+            sum(window) / len(window), rel=1e-9, abs=1e-9
+        )
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e3), min_size=1, max_size=40))
+    @settings(max_examples=50)
+    def test_estimate_bounded_by_extremes(self, values):
+        est = RuntimeEstimator(window=10)
+        for v in values:
+            est.record_completion("f", v)
+        estimate = est.expected_processing_time("f")
+        assert min(values[-10:]) - 1e-9 <= estimate <= max(values[-10:]) + 1e-9
+
+
+class TestArrivalHistory:
+    def test_recent_call_count_window(self):
+        est = RuntimeEstimator(frequency_horizon=60.0)
+        est.record_arrival("f", 0.0)
+        est.record_arrival("f", 30.0)
+        est.record_arrival("f", 59.0)
+        assert est.recent_call_count("f", 59.0) == 3
+        assert est.recent_call_count("f", 65.0) == 2  # t=0 fell out
+        assert est.recent_call_count("f", 125.0) == 0
+
+    def test_unknown_function_zero_count(self):
+        est = RuntimeEstimator()
+        assert est.recent_call_count("nope", 10.0) == 0
+
+    def test_previous_arrival(self):
+        est = RuntimeEstimator()
+        assert est.previous_arrival("f") is None
+        est.record_arrival("f", 5.0)
+        assert est.previous_arrival("f") == 5.0
+        est.record_arrival("f", 9.0)
+        assert est.previous_arrival("f") == 9.0
+
+    def test_counts_per_function(self):
+        est = RuntimeEstimator()
+        est.record_arrival("a", 1.0)
+        est.record_arrival("b", 2.0)
+        est.record_arrival("a", 3.0)
+        assert est.recent_call_count("a", 3.0) == 2
+        assert est.recent_call_count("b", 3.0) == 1

@@ -1,0 +1,94 @@
+"""Tests for the extension policies (oracle, ETAS-like, per-function RR)."""
+
+import pytest
+
+from repro.scheduling.estimator import RuntimeEstimator
+from repro.scheduling.extra import (
+    EXTRA_POLICIES,
+    ClairvoyantSPT,
+    EtasLike,
+    RoundRobinPerFunction,
+)
+from repro.workload.functions import catalog_by_name
+from repro.workload.generator import Request
+
+
+def req(name: str, service: float, rid: int = 0) -> Request:
+    return Request(rid, catalog_by_name()[name], 0.0, service)
+
+
+class TestClairvoyant:
+    def test_priority_is_true_service_time(self):
+        policy = ClairvoyantSPT(RuntimeEstimator())
+        assert policy.priority(req("sleep", 2.5), 0.0) == 2.5
+
+    def test_oracle_beats_sept_on_mean_response(self):
+        # The whole point of the oracle: it bounds SEPT from below.
+        from repro.cluster.platform import FaaSPlatform
+        from repro.node.invoker import Invoker
+        from repro.node.config import NodeConfig
+        from repro.sim.core import Environment
+        from repro.sim.rng import RngRegistry
+        from repro.workload.functions import sebs_catalog
+        from repro.workload.scenarios import uniform_burst
+        import numpy as np
+
+        def mean_response(policy):
+            env = Environment()
+            invoker = Invoker(env, NodeConfig(cores=4), policy=policy)
+            invoker.warm_up(sebs_catalog())
+            scenario = uniform_burst(4, 30, np.random.default_rng(1))
+            records = FaaSPlatform(env, [invoker]).run_scenario(scenario)
+            return float(np.mean([r.response_time for r in records]))
+
+        oracle = mean_response(ClairvoyantSPT(RuntimeEstimator()))
+        sept = mean_response("SEPT")
+        assert oracle <= sept * 1.1  # oracle no worse (tolerance for ties)
+
+
+class TestEtasLike:
+    def test_ema_initialises_to_first_sample(self):
+        policy = EtasLike(RuntimeEstimator())
+        policy.on_completed(req("sleep", 1.0), 2.0)
+        assert policy.ema("sleep") == pytest.approx(2.0)
+
+    def test_ema_update_rule(self):
+        policy = EtasLike(RuntimeEstimator(), alpha=0.5)
+        policy.on_completed(req("sleep", 1.0), 2.0)
+        policy.on_completed(req("sleep", 1.0), 4.0)
+        assert policy.ema("sleep") == pytest.approx(3.0)  # 0.5*4 + 0.5*2
+
+    def test_priority_shape_matches_eect(self):
+        policy = EtasLike(RuntimeEstimator())
+        policy.on_completed(req("sleep", 1.0), 1.0)
+        assert policy.priority(req("sleep", 1.0), 10.0) == pytest.approx(11.0)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            EtasLike(RuntimeEstimator(), alpha=0.0)
+        with pytest.raises(ValueError):
+            EtasLike(RuntimeEstimator(), alpha=1.5)
+
+    def test_still_feeds_window_estimator(self):
+        est = RuntimeEstimator()
+        policy = EtasLike(est)
+        policy.on_completed(req("sleep", 1.0), 3.0)
+        assert est.expected_processing_time("sleep") == pytest.approx(3.0)
+
+
+class TestRoundRobinPerFunction:
+    def test_interleaves_functions(self):
+        policy = RoundRobinPerFunction(RuntimeEstimator())
+        p_a1 = policy.priority(req("sleep", 1.0), 0.0)
+        p_a2 = policy.priority(req("sleep", 1.0), 0.0)
+        p_b1 = policy.priority(req("graph-bfs", 0.01), 5.0)
+        assert p_a1 == p_b1 == 0.0  # first calls tie -> FIFO among them
+        assert p_a2 == 1.0  # second sleep falls behind first bfs
+
+
+class TestRegistry:
+    def test_extras_registered_separately(self):
+        assert set(EXTRA_POLICIES) == {"ORACLE-SPT", "ETAS", "RR-FN"}
+        from repro.scheduling.policies import POLICIES
+
+        assert not set(EXTRA_POLICIES) & set(POLICIES)

@@ -1,0 +1,75 @@
+"""Tests for the stable priority queue."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scheduling.queue import StablePriorityQueue
+
+
+class TestBasics:
+    def test_pop_lowest_priority_first(self):
+        q = StablePriorityQueue()
+        q.push(3.0, "c")
+        q.push(1.0, "a")
+        q.push(2.0, "b")
+        assert [q.pop()[1] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_ties_broken_fifo(self):
+        q = StablePriorityQueue()
+        for tag in "abcde":
+            q.push(1.0, tag)
+        assert [q.pop()[1] for _ in range(5)] == list("abcde")
+
+    def test_pop_returns_priority(self):
+        q = StablePriorityQueue()
+        q.push(7.5, "x")
+        priority, item = q.pop()
+        assert priority == 7.5 and item == "x"
+
+    def test_peek_nondestructive(self):
+        q = StablePriorityQueue()
+        q.push(2.0, "b")
+        q.push(1.0, "a")
+        assert q.peek() == (1.0, "a")
+        assert len(q) == 2
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(IndexError):
+            StablePriorityQueue().pop()
+
+    def test_len_and_bool(self):
+        q = StablePriorityQueue()
+        assert not q and len(q) == 0
+        q.push(1.0, "a")
+        assert q and len(q) == 1
+
+    def test_iter_in_priority_order(self):
+        q = StablePriorityQueue()
+        q.push(2.0, "b")
+        q.push(1.0, "a")
+        q.push(3.0, "c")
+        assert list(q) == ["a", "b", "c"]
+        assert len(q) == 3  # iteration is non-destructive
+
+
+class TestProperties:
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False), max_size=200))
+    @settings(max_examples=100)
+    def test_pops_in_sorted_order(self, priorities):
+        q = StablePriorityQueue()
+        for idx, priority in enumerate(priorities):
+            q.push(priority, idx)
+        popped = [q.pop()[0] for _ in range(len(priorities))]
+        assert popped == sorted(priorities)
+
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=100))
+    @settings(max_examples=100)
+    def test_stability_within_priority_class(self, priorities):
+        q = StablePriorityQueue()
+        for idx, priority in enumerate(priorities):
+            q.push(float(priority), idx)
+        popped = [q.pop() for _ in range(len(priorities))]
+        for klass in set(priorities):
+            indices = [item for prio, item in popped if prio == klass]
+            assert indices == sorted(indices)  # insertion order preserved

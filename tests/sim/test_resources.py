@@ -1,0 +1,297 @@
+"""Unit tests for Resource, PriorityResource, Store, PriorityStore."""
+
+import pytest
+
+from repro.sim import Environment, PriorityResource, PriorityStore, Resource, Store
+
+
+class TestResource:
+    def test_capacity_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_immediate_grant_within_capacity(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        got = []
+
+        def proc(env, tag):
+            with res.request() as req:
+                yield req
+                got.append((tag, env.now))
+                yield env.timeout(1.0)
+
+        env.process(proc(env, "a"))
+        env.process(proc(env, "b"))
+        env.run()
+        assert got == [("a", 0.0), ("b", 0.0)]
+
+    def test_fifo_wait_order(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        order = []
+
+        def proc(env, tag, hold):
+            with res.request() as req:
+                yield req
+                order.append((tag, env.now))
+                yield env.timeout(hold)
+
+        env.process(proc(env, "first", 2.0))
+        env.process(proc(env, "second", 2.0))
+        env.process(proc(env, "third", 2.0))
+        env.run()
+        assert order == [("first", 0.0), ("second", 2.0), ("third", 4.0)]
+
+    def test_release_on_context_exit(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+
+        def holder(env):
+            with res.request() as req:
+                yield req
+                yield env.timeout(5.0)
+
+        env.process(holder(env))
+        env.run()
+        assert res.count == 0
+
+    def test_counts(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+
+        def holder(env):
+            with res.request() as req:
+                yield req
+                yield env.timeout(10.0)
+
+        def waiter(env):
+            with res.request() as req:
+                yield req
+
+        env.process(holder(env))
+        env.process(waiter(env))
+        env.run(until=1.0)
+        assert res.count == 1
+        assert res.queued == 1
+
+    def test_cancel_waiting_request(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        served = []
+
+        def holder(env):
+            with res.request() as req:
+                yield req
+                yield env.timeout(10.0)
+
+        def impatient(env):
+            req = res.request()
+            yield env.timeout(1.0)
+            req.cancel()  # gives up before being served
+
+        def patient(env):
+            with res.request() as req:
+                yield req
+                served.append(env.now)
+
+        env.process(holder(env))
+        env.process(impatient(env))
+        env.process(patient(env))
+        env.run()
+        assert served == [10.0]
+
+
+class TestPriorityResource:
+    def test_lower_priority_served_first(self):
+        env = Environment()
+        res = PriorityResource(env, capacity=1)
+        order = []
+
+        def holder(env):
+            with res.request() as req:
+                yield req
+                yield env.timeout(5.0)
+
+        def proc(env, tag, prio, delay):
+            yield env.timeout(delay)
+            with res.request(priority=prio) as req:
+                yield req
+                order.append(tag)
+
+        env.process(holder(env))
+        env.process(proc(env, "low-prio", 10.0, 1.0))
+        env.process(proc(env, "high-prio", 1.0, 2.0))  # arrives later, served first
+        env.run()
+        assert order == ["high-prio", "low-prio"]
+
+    def test_tie_broken_fifo(self):
+        env = Environment()
+        res = PriorityResource(env, capacity=1)
+        order = []
+
+        def holder(env):
+            with res.request() as req:
+                yield req
+                yield env.timeout(5.0)
+
+        def proc(env, tag, delay):
+            yield env.timeout(delay)
+            with res.request(priority=3.0) as req:
+                yield req
+                order.append(tag)
+
+        env.process(holder(env))
+        env.process(proc(env, "a", 1.0))
+        env.process(proc(env, "b", 2.0))
+        env.run()
+        assert order == ["a", "b"]
+
+
+class TestStore:
+    def test_put_then_get(self):
+        env = Environment()
+        store = Store(env)
+
+        def producer(env):
+            yield store.put("item")
+
+        def consumer(env):
+            item = yield store.get()
+            return item
+
+        env.process(producer(env))
+        c = env.process(consumer(env))
+        env.run()
+        assert c.value == "item"
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+
+        def consumer(env):
+            item = yield store.get()
+            return (item, env.now)
+
+        def producer(env):
+            yield env.timeout(7.0)
+            yield store.put("late")
+
+        c = env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert c.value == ("late", 7.0)
+
+    def test_fifo_item_order(self):
+        env = Environment()
+        store = Store(env)
+        for item in ("x", "y", "z"):
+            store.put(item)
+        received = []
+
+        def consumer(env):
+            for _ in range(3):
+                received.append((yield store.get()))
+
+        env.process(consumer(env))
+        env.run()
+        assert received == ["x", "y", "z"]
+
+    def test_bounded_capacity_blocks_put(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        events = []
+
+        def producer(env):
+            yield store.put("a")
+            events.append(("a-stored", env.now))
+            yield store.put("b")
+            events.append(("b-stored", env.now))
+
+        def consumer(env):
+            yield env.timeout(5.0)
+            yield store.get()
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert events == [("a-stored", 0.0), ("b-stored", 5.0)]
+
+    def test_invalid_capacity(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Store(env, capacity=0)
+
+    def test_cancel_get(self):
+        env = Environment()
+        store = Store(env)
+        outcome = []
+
+        def impatient(env):
+            getter = store.get()
+            yield env.timeout(1.0)
+            getter.cancel()
+
+        def patient(env):
+            item = yield store.get()
+            outcome.append(item)
+
+        def producer(env):
+            yield env.timeout(2.0)
+            yield store.put("only")
+
+        env.process(impatient(env))
+        env.process(patient(env))
+        env.process(producer(env))
+        env.run()
+        assert outcome == ["only"]
+
+
+class TestPriorityStore:
+    def test_items_retrieved_in_key_order(self):
+        env = Environment()
+        store = PriorityStore(env, key=lambda item: item[0])
+        for entry in [(3, "c"), (1, "a"), (2, "b")]:
+            store.put(entry)
+        received = []
+
+        def consumer(env):
+            for _ in range(3):
+                item = yield store.get()
+                received.append(item[1])
+
+        env.process(consumer(env))
+        env.run()
+        assert received == ["a", "b", "c"]
+
+    def test_sorted_items_nondestructive(self):
+        env = Environment()
+        store = PriorityStore(env, key=lambda item: item)
+        for v in (5, 1, 3):
+            store.put(v)
+        env.run()
+        assert store.sorted_items == [1, 3, 5]
+        assert len(store) == 3
+
+    def test_late_low_key_item_jumps_queue(self):
+        env = Environment()
+        store = PriorityStore(env, key=lambda item: item)
+        received = []
+
+        def consumer(env):
+            for _ in range(3):
+                item = yield store.get()
+                received.append((item, env.now))
+                yield env.timeout(1.0)
+
+        def producer(env):
+            yield store.put(10)
+            yield store.put(20)
+            yield env.timeout(0.5)
+            yield store.put(1)  # arrives while 10 is being "processed"
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert [item for item, _ in received] == [10, 1, 20]

@@ -1,0 +1,43 @@
+"""Unit tests for the named RNG registry."""
+
+import numpy as np
+
+from repro.sim import RngRegistry
+
+
+class TestRngRegistry:
+    def test_same_name_returns_same_stream(self):
+        rngs = RngRegistry(seed=7)
+        assert rngs.get("a") is rngs.get("a")
+
+    def test_different_names_give_independent_streams(self):
+        rngs = RngRegistry(seed=7)
+        a = rngs.get("a").random(100)
+        b = rngs.get("b").random(100)
+        assert not np.allclose(a, b)
+
+    def test_same_seed_reproduces_values(self):
+        r1 = RngRegistry(seed=123).get("arrivals").random(50)
+        r2 = RngRegistry(seed=123).get("arrivals").random(50)
+        assert np.array_equal(r1, r2)
+
+    def test_different_seeds_differ(self):
+        r1 = RngRegistry(seed=1).get("arrivals").random(50)
+        r2 = RngRegistry(seed=2).get("arrivals").random(50)
+        assert not np.array_equal(r1, r2)
+
+    def test_stream_isolation_under_extra_draws(self):
+        # Drawing more from stream "a" must not change stream "b".
+        reg1 = RngRegistry(seed=9)
+        reg1.get("a").random(1000)
+        b1 = reg1.get("b").random(10)
+
+        reg2 = RngRegistry(seed=9)
+        b2 = reg2.get("b").random(10)
+        assert np.array_equal(b1, b2)
+
+    def test_contains(self):
+        rngs = RngRegistry(seed=0)
+        assert "x" not in rngs
+        rngs.get("x")
+        assert "x" in rngs

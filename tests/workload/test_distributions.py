@@ -1,0 +1,111 @@
+"""Tests for the split log-normal service-time model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload._normal import norm_ppf
+from repro.workload.distributions import SplitLogNormal, fit_split_lognormal
+
+
+class TestNormPpf:
+    def test_median(self):
+        assert norm_ppf(0.5) == pytest.approx(0.0, abs=1e-9)
+
+    def test_known_quantiles(self):
+        assert norm_ppf(0.95) == pytest.approx(1.6448536, abs=1e-6)
+        assert norm_ppf(0.05) == pytest.approx(-1.6448536, abs=1e-6)
+        assert norm_ppf(0.975) == pytest.approx(1.959964, abs=1e-5)
+
+    def test_symmetry(self):
+        for p in (0.01, 0.1, 0.3, 0.45):
+            assert norm_ppf(p) == pytest.approx(-norm_ppf(1 - p), abs=1e-7)
+
+    def test_domain_errors(self):
+        for bad in (0.0, 1.0, -0.1, 1.1):
+            with pytest.raises(ValueError):
+                norm_ppf(bad)
+
+    @given(st.floats(min_value=1e-6, max_value=1 - 1e-6))
+    @settings(deadline=None)  # first example pays the scipy import
+    def test_agrees_with_scipy(self, p):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        assert norm_ppf(p) == pytest.approx(float(scipy_stats.norm.ppf(p)), abs=1e-6)
+
+
+class TestFit:
+    def test_fit_reproduces_percentiles_exactly(self):
+        dist = fit_split_lognormal(0.184, 0.192, 0.405)  # uploader, seconds
+        assert dist.percentile(5) == pytest.approx(0.184, rel=1e-9)
+        assert dist.percentile(50) == pytest.approx(0.192, rel=1e-9)
+        assert dist.percentile(95) == pytest.approx(0.405, rel=1e-9)
+
+    def test_symmetric_case_gives_equal_sigmas(self):
+        dist = fit_split_lognormal(1.0, 2.0, 4.0)
+        assert dist.sigma_low == pytest.approx(dist.sigma_high)
+
+    def test_degenerate_spread_allowed(self):
+        dist = fit_split_lognormal(1.0, 1.0, 1.0)
+        assert dist.sigma_low == 0.0 and dist.sigma_high == 0.0
+        rng = np.random.default_rng(0)
+        assert np.all(dist.sample(rng, size=100) == 1.0)
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            fit_split_lognormal(2.0, 1.0, 3.0)
+        with pytest.raises(ValueError):
+            fit_split_lognormal(0.0, 1.0, 2.0)
+
+    @given(
+        p50=st.floats(min_value=1e-3, max_value=1e3),
+        lo_ratio=st.floats(min_value=0.1, max_value=1.0),
+        hi_ratio=st.floats(min_value=1.0, max_value=10.0),
+    )
+    @settings(max_examples=50)
+    def test_fit_roundtrip_property(self, p50, lo_ratio, hi_ratio):
+        p5, p95 = p50 * lo_ratio, p50 * hi_ratio
+        dist = fit_split_lognormal(p5, p50, p95)
+        assert dist.percentile(5) == pytest.approx(p5, rel=1e-6)
+        assert dist.percentile(50) == pytest.approx(p50, rel=1e-6)
+        assert dist.percentile(95) == pytest.approx(p95, rel=1e-6)
+
+
+class TestSampling:
+    def test_samples_positive(self):
+        dist = fit_split_lognormal(0.1, 0.2, 0.9)
+        rng = np.random.default_rng(1)
+        samples = dist.sample(rng, size=10_000)
+        assert np.all(samples > 0)
+
+    def test_empirical_percentiles_converge(self):
+        dist = fit_split_lognormal(0.5, 1.0, 3.0)
+        rng = np.random.default_rng(2)
+        samples = dist.sample(rng, size=200_000)
+        assert np.percentile(samples, 50) == pytest.approx(1.0, rel=0.02)
+        assert np.percentile(samples, 5) == pytest.approx(0.5, rel=0.05)
+        assert np.percentile(samples, 95) == pytest.approx(3.0, rel=0.05)
+
+    def test_scalar_sample(self):
+        dist = fit_split_lognormal(1.0, 2.0, 4.0)
+        value = dist.sample(np.random.default_rng(3))
+        assert np.isscalar(value) or value.shape == ()
+
+    def test_mean_matches_empirical(self):
+        dist = fit_split_lognormal(0.5, 1.0, 3.0)
+        rng = np.random.default_rng(4)
+        samples = dist.sample(rng, size=300_000)
+        assert dist.mean == pytest.approx(float(np.mean(samples)), rel=0.02)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            SplitLogNormal(median=-1.0, sigma_low=0.1, sigma_high=0.1)
+        with pytest.raises(ValueError):
+            SplitLogNormal(median=1.0, sigma_low=-0.1, sigma_high=0.1)
+
+    def test_percentile_domain(self):
+        dist = fit_split_lognormal(1.0, 2.0, 4.0)
+        with pytest.raises(ValueError):
+            dist.percentile(0)
+        with pytest.raises(ValueError):
+            dist.percentile(100)

@@ -1,0 +1,81 @@
+"""Tests for the SeBS function catalog."""
+
+import pytest
+
+from repro.workload.functions import (
+    NETWORK_OVERHEAD_S,
+    FunctionSpec,
+    catalog_by_name,
+    sebs_catalog,
+)
+
+
+class TestCatalog:
+    def test_eleven_functions(self):
+        assert len(sebs_catalog()) == 11
+
+    def test_names_unique(self):
+        names = [spec.name for spec in sebs_catalog()]
+        assert len(set(names)) == 11
+
+    def test_table1_medians(self):
+        by_name = catalog_by_name()
+        assert by_name["dna-visualisation"].p50 == pytest.approx(8.552)
+        assert by_name["graph-bfs"].p50 == pytest.approx(0.012)
+        assert by_name["sleep"].p50 == pytest.approx(1.022)
+
+    def test_mean_of_medians_matches_paper(self):
+        # Paper Sect. V-B: average response for a uniformly-selected
+        # function is ~1.042 s.
+        medians = [spec.p50 for spec in sebs_catalog()]
+        assert sum(medians) / len(medians) == pytest.approx(1.042, abs=0.002)
+
+    def test_percentile_ordering(self):
+        for spec in sebs_catalog():
+            assert 0 < spec.p5 <= spec.p50 <= spec.p95
+
+    def test_cpu_fractions_valid_and_diverse(self):
+        fractions = [spec.cpu_fraction for spec in sebs_catalog()]
+        assert all(0.0 <= f <= 1.0 for f in fractions)
+        # Roughly half CPU-intensive, half I/O-leaning (paper Sect. V).
+        assert sum(1 for f in fractions if f >= 0.7) >= 5
+        assert sum(1 for f in fractions if f < 0.7) >= 3
+
+    def test_sleep_is_pure_wait(self):
+        assert catalog_by_name()["sleep"].cpu_fraction <= 0.05
+
+    def test_working_set_fits_32gib_on_10_cores(self):
+        # Paper Sect. VI: evictions vanish from 32 GiB on 10 cores.
+        total_mb = sum(spec.memory_mb for spec in sebs_catalog()) * 10
+        assert total_mb < 32 * 1024
+
+    def test_working_set_exceeds_32gib_on_20_cores(self):
+        # ...but the 20-core warm set does not fit, which drives the
+        # baseline's eviction churn at 20 cores.
+        total_mb = sum(spec.memory_mb for spec in sebs_catalog()) * 20
+        assert total_mb > 32 * 1024
+
+
+class TestFunctionSpec:
+    def test_service_distribution_subtracts_network_overhead(self):
+        spec = catalog_by_name()["compression"]
+        dist = spec.service_distribution
+        assert dist.median == pytest.approx(spec.p50 - NETWORK_OVERHEAD_S)
+
+    def test_split_service_partitions(self):
+        spec = catalog_by_name()["thumbnailer"]
+        cpu, io = spec.split_service(1.0)
+        assert cpu + io == pytest.approx(1.0)
+        assert cpu == pytest.approx(spec.cpu_fraction)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FunctionSpec("x", 0.1, 0.2, 0.3, cpu_fraction=1.5, memory_mb=128)
+        with pytest.raises(ValueError):
+            FunctionSpec("x", 0.1, 0.2, 0.3, cpu_fraction=0.5, memory_mb=0)
+        with pytest.raises(ValueError):
+            FunctionSpec("x", 0.3, 0.2, 0.4, cpu_fraction=0.5, memory_mb=128)
+
+    def test_median_response_time_is_stretch_reference(self):
+        for spec in sebs_catalog():
+            assert spec.median_response_time == spec.p50

@@ -1,0 +1,116 @@
+"""Tests for burst scenario generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.functions import sebs_catalog
+from repro.workload.generator import (
+    BURST_WINDOW_S,
+    BurstScenario,
+    Request,
+    requests_for_intensity,
+)
+
+
+class TestIntensityArithmetic:
+    @pytest.mark.parametrize(
+        "cores,intensity,expected",
+        [(20, 30, 660), (10, 30, 330), (5, 120, 660), (10, 120, 1320), (20, 120, 2640)],
+    )
+    def test_paper_counts(self, cores, intensity, expected):
+        # Paper Sect. V-B: 1.1 * c * v requests (e.g. 20 cores, intensity
+        # 30 -> 660 requests).
+        assert requests_for_intensity(cores, intensity) == expected
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            requests_for_intensity(0, 30)
+        with pytest.raises(ValueError):
+            requests_for_intensity(10, 0)
+
+    @given(cores=st.integers(1, 64), intensity=st.integers(1, 200))
+    @settings(max_examples=100)
+    def test_count_positive_and_close_to_formula(self, cores, intensity):
+        n = requests_for_intensity(cores, intensity)
+        assert n >= 1
+        assert abs(n - 1.1 * cores * intensity) < 1.0
+
+
+class TestRequest:
+    def test_cpu_io_split(self):
+        spec = sebs_catalog()[0]  # dna-visualisation, cpu_fraction 0.95
+        req = Request(0, spec, 1.0, 2.0)
+        assert req.cpu_work == pytest.approx(2.0 * 0.95)
+        assert req.io_time == pytest.approx(2.0 * 0.05)
+        assert req.cpu_work + req.io_time == pytest.approx(req.service_time)
+
+
+class TestBurstScenario:
+    def _scenario(self, seed=0, count=30):
+        rng = np.random.default_rng(seed)
+        counts = [(spec, count) for spec in sebs_catalog()]
+        return BurstScenario.from_counts(counts, rng)
+
+    def test_total_count(self):
+        scenario = self._scenario(count=30)
+        assert len(scenario) == 30 * 11
+
+    def test_sorted_by_release_time(self):
+        scenario = self._scenario()
+        releases = [r.release_time for r in scenario]
+        assert releases == sorted(releases)
+
+    def test_arrivals_within_window(self):
+        scenario = self._scenario()
+        assert all(0.0 <= r.release_time < BURST_WINDOW_S for r in scenario)
+
+    def test_unique_request_ids(self):
+        scenario = self._scenario()
+        rids = [r.rid for r in scenario]
+        assert len(set(rids)) == len(rids)
+
+    def test_count_for(self):
+        scenario = self._scenario(count=7)
+        for spec in sebs_catalog():
+            assert scenario.count_for(spec.name) == 7
+
+    def test_functions_accessor(self):
+        scenario = self._scenario()
+        assert {f.name for f in scenario.functions} == {
+            s.name for s in sebs_catalog()
+        }
+
+    def test_zero_count_function_skipped(self):
+        rng = np.random.default_rng(1)
+        specs = sebs_catalog()
+        scenario = BurstScenario.from_counts([(specs[0], 0), (specs[1], 5)], rng)
+        assert len(scenario) == 5
+        assert scenario.count_for(specs[0].name) == 0
+
+    def test_negative_count_rejected(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ValueError):
+            BurstScenario.from_counts([(sebs_catalog()[0], -1)], rng)
+
+    def test_deterministic_for_seed(self):
+        a = self._scenario(seed=5)
+        b = self._scenario(seed=5)
+        assert [(r.release_time, r.service_time) for r in a] == [
+            (r.release_time, r.service_time) for r in b
+        ]
+
+    def test_different_seeds_differ(self):
+        a = self._scenario(seed=5)
+        b = self._scenario(seed=6)
+        assert [r.release_time for r in a] != [r.release_time for r in b]
+
+    def test_service_times_positive(self):
+        scenario = self._scenario()
+        assert all(r.service_time > 0 for r in scenario)
+
+    def test_totals(self):
+        scenario = self._scenario(count=5)
+        assert scenario.total_cpu_work() <= scenario.total_service_time()
+        assert scenario.total_cpu_work() > 0

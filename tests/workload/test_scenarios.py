@@ -1,0 +1,89 @@
+"""Tests for named scenario builders."""
+
+import numpy as np
+import pytest
+
+from repro.workload.functions import sebs_catalog
+from repro.workload.scenarios import (
+    azure_like_burst,
+    multi_node_burst,
+    skewed_burst,
+    uniform_burst,
+)
+
+
+class TestUniformBurst:
+    def test_total_count_matches_paper(self):
+        rng = np.random.default_rng(0)
+        scenario = uniform_burst(20, 30, rng)
+        assert len(scenario) == 660  # paper's example
+
+    def test_equal_per_function_counts(self):
+        rng = np.random.default_rng(0)
+        scenario = uniform_burst(10, 30, rng)
+        for spec in sebs_catalog():
+            assert scenario.count_for(spec.name) == 30
+
+    def test_custom_window(self):
+        rng = np.random.default_rng(0)
+        scenario = uniform_burst(5, 30, rng, window=10.0)
+        assert all(r.release_time < 10.0 for r in scenario)
+
+
+class TestSkewedBurst:
+    def test_rare_function_exact_count(self):
+        rng = np.random.default_rng(0)
+        scenario = skewed_burst(10, 90, rng)
+        assert scenario.count_for("dna-visualisation") == 10
+
+    def test_total_preserved(self):
+        rng = np.random.default_rng(0)
+        scenario = skewed_burst(10, 90, rng)
+        assert len(scenario) == 990  # 1.1 * 10 * 90
+
+    def test_short_function_share_near_uniform(self):
+        # Paper Fig. 5: graph-bfs is ~9.9% of all calls.
+        rng = np.random.default_rng(0)
+        scenario = skewed_burst(10, 90, rng)
+        share = scenario.count_for("graph-bfs") / len(scenario)
+        assert 0.05 < share < 0.15
+
+    def test_unknown_rare_function_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            skewed_burst(10, 90, rng, rare_function="nope")
+
+    def test_rare_count_exceeding_total_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            skewed_burst(1, 1, rng, rare_count=100)
+
+
+class TestMultiNodeBurst:
+    @pytest.mark.parametrize("total", [1320, 2376])
+    def test_paper_request_counts(self, total):
+        rng = np.random.default_rng(0)
+        scenario = multi_node_burst(total, rng)
+        assert len(scenario) == total
+        per_function = total // 11
+        for spec in sebs_catalog():
+            assert scenario.count_for(spec.name) == per_function
+
+    def test_indivisible_total_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            multi_node_burst(1000, rng)  # not divisible by 11
+
+
+class TestAzureLikeBurst:
+    def test_total_preserved(self):
+        rng = np.random.default_rng(0)
+        scenario = azure_like_burst(10, 30, rng)
+        assert len(scenario) == 330
+
+    def test_short_functions_dominate(self):
+        rng = np.random.default_rng(0)
+        scenario = azure_like_burst(10, 60, rng)
+        shortest = min(sebs_catalog(), key=lambda s: s.p50)
+        longest = max(sebs_catalog(), key=lambda s: s.p50)
+        assert scenario.count_for(shortest.name) > scenario.count_for(longest.name)

@@ -1,0 +1,85 @@
+"""Tests for the synthetic trace generator extension."""
+
+import numpy as np
+import pytest
+
+from repro.workload.trace import TraceProfile, trace_scenario
+
+
+class TestTraceProfile:
+    def test_rate_at(self):
+        profile = TraceProfile(
+            duration_s=100, base_rate=1.0, peak_rate=10.0,
+            peak_start_s=40, peak_duration_s=20,
+        )
+        assert profile.rate_at(10) == 1.0
+        assert profile.rate_at(50) == 10.0
+        assert profile.rate_at(60) == 1.0  # peak end exclusive
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceProfile(duration_s=0)
+        with pytest.raises(ValueError):
+            TraceProfile(base_rate=-1)
+        with pytest.raises(ValueError):
+            TraceProfile(peak_start_s=1000, duration_s=100)
+        with pytest.raises(ValueError):
+            TraceProfile(zipf_exponent=-0.1)
+
+
+class TestTraceScenario:
+    def _profile(self):
+        return TraceProfile(
+            duration_s=200, base_rate=2.0, peak_rate=20.0,
+            peak_start_s=80, peak_duration_s=40,
+        )
+
+    def test_arrival_count_near_expectation(self):
+        profile = self._profile()
+        scenario = trace_scenario(profile, np.random.default_rng(0))
+        expected = 2.0 * 160 + 20.0 * 40  # 1120
+        assert expected * 0.85 < len(scenario) < expected * 1.15
+
+    def test_peak_denser_than_baseline(self):
+        profile = self._profile()
+        scenario = trace_scenario(profile, np.random.default_rng(1))
+        peak = sum(1 for r in scenario if 80 <= r.release_time < 120)
+        before = sum(1 for r in scenario if 0 <= r.release_time < 40)
+        assert peak > 4 * before
+
+    def test_zipf_popularity_short_functions_dominate(self):
+        scenario = trace_scenario(self._profile(), np.random.default_rng(2))
+        assert scenario.count_for("graph-bfs") > scenario.count_for("dna-visualisation")
+
+    def test_uniform_when_exponent_zero(self):
+        profile = TraceProfile(duration_s=600, base_rate=5.0, peak_rate=5.0,
+                               zipf_exponent=0.0)
+        scenario = trace_scenario(profile, np.random.default_rng(3))
+        counts = [scenario.count_for(f.name) for f in scenario.functions]
+        assert max(counts) < 2.0 * min(counts)
+
+    def test_zero_rate_empty(self):
+        profile = TraceProfile(base_rate=0.0, peak_rate=0.0)
+        scenario = trace_scenario(profile, np.random.default_rng(0))
+        assert len(scenario) == 0
+
+    def test_deterministic(self):
+        a = trace_scenario(self._profile(), np.random.default_rng(7))
+        b = trace_scenario(self._profile(), np.random.default_rng(7))
+        assert [r.release_time for r in a] == [r.release_time for r in b]
+
+    def test_runs_through_platform(self):
+        from repro.cluster.platform import FaaSPlatform
+        from repro.node.config import NodeConfig
+        from repro.node.invoker import Invoker
+        from repro.sim.core import Environment
+        from repro.workload.functions import sebs_catalog
+
+        env = Environment()
+        invoker = Invoker(env, NodeConfig(cores=4), policy="FC")
+        invoker.warm_up(sebs_catalog())
+        profile = TraceProfile(duration_s=60, base_rate=1.0, peak_rate=6.0,
+                               peak_start_s=20, peak_duration_s=20)
+        scenario = trace_scenario(profile, np.random.default_rng(4))
+        records = FaaSPlatform(env, [invoker]).run_scenario(scenario)
+        assert len(records) == len(scenario)
