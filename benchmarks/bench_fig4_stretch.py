@@ -8,14 +8,14 @@ from repro.experiments.artifacts import fig4_from_grid
 from repro.experiments.grid import GridSpec, run_grid
 
 
-def test_fig4_stretch_boxes(run_once, full_protocol):
+def test_fig4_stretch_boxes(run_once, full_protocol, engine_opts):
     spec = GridSpec(
         cores=(10, 20),
         intensities=(30, 40, 60),
         strategies=("baseline", "FIFO", "SEPT", "EECT", "RECT", "FC"),
         seeds=(1, 2, 3, 4, 5) if full_protocol else (1,),
     )
-    grid = run_once(run_grid, spec)
+    grid = run_once(run_grid, spec, **engine_opts)
     figure = fig4_from_grid(grid)
     print()
     print(figure.render())

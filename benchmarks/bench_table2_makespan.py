@@ -9,14 +9,14 @@ from repro.experiments.artifacts import table2_from_grid
 from repro.experiments.grid import GridSpec, run_grid
 
 
-def test_table2_makespan_ratios(run_once, full_protocol):
+def test_table2_makespan_ratios(run_once, full_protocol, engine_opts):
     spec = GridSpec(
         cores=(5, 10, 20),
         intensities=(30, 40, 60, 90, 120) if full_protocol else (30, 120),
         strategies=("baseline", "FIFO"),
         seeds=(1, 2, 3, 4, 5) if full_protocol else (1, 2),
     )
-    grid = run_once(run_grid, spec)
+    grid = run_once(run_grid, spec, **engine_opts)
     table = table2_from_grid(grid)
     print()
     print(table.render())

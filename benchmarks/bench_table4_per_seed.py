@@ -12,14 +12,14 @@ from repro.experiments.artifacts import table3_from_grid
 from repro.experiments.grid import GridSpec, run_grid
 
 
-def test_table4_per_seed_rows(run_once, full_protocol):
+def test_table4_per_seed_rows(run_once, full_protocol, engine_opts):
     spec = GridSpec(
         cores=(10,),
         intensities=(30, 60) if not full_protocol else (30, 40, 60, 90, 120),
         strategies=("baseline", "FIFO", "SEPT", "FC"),
         seeds=(1, 2, 3, 4, 5),
     )
-    grid = run_once(run_grid, spec)
+    grid = run_once(run_grid, spec, **engine_opts)
     table = table3_from_grid(grid, per_seed=True)
     print()
     print(table.render())

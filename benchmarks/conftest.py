@@ -6,6 +6,14 @@ protocol runs — one seed, reduced sweeps — so the whole suite finishes in
 a few minutes.  Set ``REPRO_FULL=1`` to run the paper's full protocol
 (5 seeds, full grids); expect a much longer run.
 
+The grid-backed benches route through the parallel execution engine:
+
+* ``REPRO_JOBS=N`` shards grid cells across N worker processes
+  (results are bit-identical to the serial run).
+* ``REPRO_CACHE_DIR=path`` reuses cached cells across benches and runs —
+  e.g. fig3, fig4, table3 and table4 all slice the same grid, so with a
+  cache the later benches only compute cells the earlier ones missed.
+
 Run with::
 
     pytest benchmarks/ --benchmark-only
@@ -35,6 +43,15 @@ def pytest_runtest_makereport(item, call):
 def full_protocol() -> bool:
     """True when the full paper protocol was requested."""
     return os.environ.get("REPRO_FULL", "0") not in ("", "0", "false")
+
+
+@pytest.fixture(scope="session")
+def engine_opts() -> dict:
+    """Parallel-engine keyword arguments for ``run_grid`` in the grid
+    benches, taken from ``REPRO_JOBS`` / ``REPRO_CACHE_DIR``."""
+    jobs = int(os.environ.get("REPRO_JOBS", "1") or "1")
+    cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+    return {"jobs": jobs, "cache_dir": cache_dir}
 
 
 @pytest.fixture

@@ -41,6 +41,14 @@ _EXPORTS = {
     "MultiNodeConfig": "repro.experiments.config",
     "run_experiment": "repro.experiments.runner",
     "run_multi_node_experiment": "repro.experiments.runner",
+    "run_repetitions": "repro.experiments.runner",
+    "GridSpec": "repro.experiments.grid",
+    "GridResults": "repro.experiments.grid",
+    "run_grid": "repro.experiments.grid",
+    "run_configs": "repro.experiments.parallel",
+    "ResultCache": "repro.experiments.parallel",
+    "EngineStats": "repro.experiments.parallel",
+    "progress_printer": "repro.experiments.parallel",
     "CallRecord": "repro.metrics.records",
     "SummaryStats": "repro.metrics.stats",
     "summarize": "repro.metrics.stats",
@@ -67,7 +75,18 @@ def __dir__():
 
 if TYPE_CHECKING:  # pragma: no cover - static analysis only
     from repro.experiments.config import ExperimentConfig, MultiNodeConfig
-    from repro.experiments.runner import run_experiment, run_multi_node_experiment
+    from repro.experiments.grid import GridResults, GridSpec, run_grid
+    from repro.experiments.parallel import (
+        EngineStats,
+        ResultCache,
+        progress_printer,
+        run_configs,
+    )
+    from repro.experiments.runner import (
+        run_experiment,
+        run_multi_node_experiment,
+        run_repetitions,
+    )
     from repro.metrics.records import CallRecord
     from repro.metrics.stats import SummaryStats, summarize
     from repro.scheduling.estimator import RuntimeEstimator

@@ -10,9 +10,14 @@ Reproduce an artifact (scaled-down)::
 
     faas-sched run fig6
 
-Reproduce the paper's full protocol for one artifact::
+Reproduce the paper's full protocol for one artifact, in parallel with an
+on-disk result cache (re-runs only compute missing cells)::
 
-    faas-sched run table3 --full
+    faas-sched run table3 --full --jobs 8 --cache-dir ~/.cache/faas-sched
+
+Run the experiment grid directly, selecting a slice::
+
+    faas-sched grid --jobs 4 --cores 10 20 --intensities 30 60 --seeds 1 2
 
 Run a single ad-hoc experiment::
 
@@ -23,14 +28,42 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import Optional, Sequence
 
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.grid import GridSpec, run_grid
+from repro.experiments.parallel import ResultCache, progress_printer
 from repro.experiments.registry import EXPERIMENTS, run_registered
 from repro.experiments.runner import run_experiment
+from repro.experiments.artifacts import table3_from_grid
 from repro.metrics.report import render_summary_table
 
 __all__ = ["main", "build_parser"]
+
+_POLICY_CHOICES = ["baseline", "FIFO", "SEPT", "EECT", "RECT", "FC"]
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    """Parallel-engine knobs shared by the ``run`` and ``grid`` commands."""
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for grid cells (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="on-disk result cache; re-runs only compute missing cells",
+    )
+    parser.add_argument(
+        "--no-progress",
+        action="store_true",
+        help="suppress per-cell progress lines on stderr",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -52,21 +85,52 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the paper's full protocol (all seeds/sweeps); slower",
     )
+    _add_engine_arguments(run)
+
+    grid = sub.add_parser(
+        "grid",
+        help="run a slice of the experiment grid (cores x intensity x strategy x seeds)",
+    )
+    grid.add_argument(
+        "--full",
+        action="store_true",
+        help="start from the paper's full grid instead of the quick slice",
+    )
+    grid.add_argument("--cores", type=int, nargs="+", metavar="C")
+    grid.add_argument("--intensities", type=int, nargs="+", metavar="V")
+    grid.add_argument("--strategies", nargs="+", choices=_POLICY_CHOICES, metavar="S")
+    grid.add_argument("--seeds", type=int, nargs="+", metavar="K")
+    grid.add_argument(
+        "--per-seed",
+        action="store_true",
+        help="render Table-IV style per-seed rows instead of pooled aggregates",
+    )
+    _add_engine_arguments(grid)
 
     sim = sub.add_parser("simulate", help="run one ad-hoc single-node experiment")
     sim.add_argument("--cores", type=int, default=10)
     sim.add_argument("--intensity", type=int, default=30)
-    sim.add_argument(
-        "--policy",
-        default="FIFO",
-        choices=["baseline", "FIFO", "SEPT", "EECT", "RECT", "FC"],
-    )
+    sim.add_argument("--policy", default="FIFO", choices=_POLICY_CHOICES)
     sim.add_argument("--seed", type=int, default=1)
     sim.add_argument("--memory-mb", type=int, default=32768)
     sim.add_argument(
         "--scenario", default="uniform", choices=["uniform", "skewed", "azure"]
     )
     return parser
+
+
+def _grid_spec_from_args(args: argparse.Namespace) -> GridSpec:
+    spec = GridSpec() if args.full else GridSpec.quick()
+    overrides = {}
+    if args.cores:
+        overrides["cores"] = tuple(args.cores)
+    if args.intensities:
+        overrides["intensities"] = tuple(args.intensities)
+    if args.strategies:
+        overrides["strategies"] = tuple(args.strategies)
+    if args.seeds:
+        overrides["seeds"] = tuple(args.seeds)
+    return replace(spec, **overrides) if overrides else spec
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -78,8 +142,42 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{eid.ljust(width)}  {description}")
         return 0
 
+    if args.command in ("run", "grid") and args.cache_dir is not None:
+        # Probe the cache root now: a bad --cache-dir should fail before
+        # any experiment time is spent, not at the first store().
+        try:
+            ResultCache(args.cache_dir)
+        except OSError as exc:
+            print(f"error: cache directory unusable: {exc}", file=sys.stderr)
+            return 2
+
     if args.command == "run":
-        print(run_registered(args.experiment, quick=not args.full))
+        report = run_registered(
+            args.experiment,
+            quick=not args.full,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            progress=None if args.no_progress else progress_printer(),
+        )
+        print(report)
+        return 0
+
+    if args.command == "grid":
+        spec = _grid_spec_from_args(args)
+        grid = run_grid(
+            spec,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            progress=None if args.no_progress else progress_printer(),
+        )
+        print(table3_from_grid(grid, per_seed=args.per_seed).render())
+        stats = grid.stats
+        if stats is not None:
+            print(
+                f"\nengine: {stats.total} runs "
+                f"({stats.computed} computed, {stats.cached} from cache, "
+                f"jobs={stats.jobs})"
+            )
         return 0
 
     if args.command == "simulate":

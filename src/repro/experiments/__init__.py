@@ -1,8 +1,18 @@
-"""Experiment harness: configuration, runner, and one module per paper
-artifact (tables and figures).  See DESIGN.md §4 for the full index.
+"""Experiment harness: configuration, runner, parallel execution engine,
+and one module per paper artifact (tables and figures).  See DESIGN.md §4
+for the full index.
 """
 
 from repro.experiments.config import ExperimentConfig, MultiNodeConfig
+from repro.experiments.parallel import (
+    EngineOptions,
+    EngineStats,
+    ResultCache,
+    WorkerError,
+    config_fingerprint,
+    progress_printer,
+    run_configs,
+)
 from repro.experiments.runner import (
     ExperimentResult,
     run_experiment,
@@ -11,9 +21,16 @@ from repro.experiments.runner import (
 )
 
 __all__ = [
+    "EngineOptions",
+    "EngineStats",
     "ExperimentConfig",
     "ExperimentResult",
     "MultiNodeConfig",
+    "ResultCache",
+    "WorkerError",
+    "config_fingerprint",
+    "progress_printer",
+    "run_configs",
     "run_experiment",
     "run_multi_node_experiment",
     "run_repetitions",

@@ -7,11 +7,13 @@ the runner caches results per cell and the artifact modules slice them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Tuple
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.experiments.config import BASELINE, ExperimentConfig
-from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.parallel import EngineStats, ProgressCallback, run_configs
+from repro.experiments.runner import ExperimentResult
 from repro.metrics.records import CallRecord
 from repro.metrics.stats import BoxStats, SummaryStats, box_stats, summarize
 
@@ -68,6 +70,9 @@ class GridResults:
 
     spec: GridSpec
     cells: Dict[Tuple[int, int, str], List[ExperimentResult]]
+    #: How the grid was executed (worker count, computed vs. cache hits);
+    #: ``None`` for results assembled outside :func:`run_grid`.
+    stats: Optional[EngineStats] = None
 
     def results(self, cores: int, intensity: int, strategy: str) -> List[ExperimentResult]:
         return self.cells[(cores, intensity, strategy)]
@@ -107,16 +112,33 @@ class GridResults:
         return [r.makespan for r in self.results(cores, intensity, strategy)]
 
 
-def run_grid(spec: GridSpec | None = None) -> GridResults:
-    """Run (cores × intensity × strategy × seeds) single-node experiments."""
+def run_grid(
+    spec: GridSpec | None = None,
+    *,
+    jobs: int = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> GridResults:
+    """Run (cores × intensity × strategy × seeds) single-node experiments.
+
+    Routed through the :mod:`repro.experiments.parallel` engine: ``jobs=N``
+    shards cells across a worker pool and ``cache_dir`` enables the on-disk
+    result cache, with results bit-identical to the serial, uncached path
+    (``jobs=1``, the default).  ``progress`` receives one callback per
+    finished cell (see :func:`~repro.experiments.parallel.progress_printer`).
+    """
     spec = spec if spec is not None else GridSpec()
+    configs = [
+        ExperimentConfig(cores=cores, intensity=intensity, policy=strategy, seed=seed)
+        for cores, intensity, strategy in spec.cells()
+        for seed in spec.seeds
+    ]
+    stats = EngineStats()
+    flat = run_configs(
+        configs, jobs=jobs, cache_dir=cache_dir, progress=progress, stats=stats
+    )
     cells: Dict[Tuple[int, int, str], List[ExperimentResult]] = {}
-    for cores, intensity, strategy in spec.cells():
-        cell: List[ExperimentResult] = []
-        for seed in spec.seeds:
-            cfg = ExperimentConfig(
-                cores=cores, intensity=intensity, policy=strategy, seed=seed
-            )
-            cell.append(run_experiment(cfg))
-        cells[(cores, intensity, strategy)] = cell
-    return GridResults(spec=spec, cells=cells)
+    per_cell = len(spec.seeds)
+    for i, key in enumerate(spec.cells()):
+        cells[key] = flat[i * per_cell : (i + 1) * per_cell]
+    return GridResults(spec=spec, cells=cells, stats=stats)

@@ -1,0 +1,414 @@
+"""Parallel experiment execution with an on-disk result cache.
+
+The paper's evaluation is a grid of cores × intensity × strategy × 5 seeds
+(Tables II–IV, Figs. 3–4 and the appendix figures); every cell is an
+independent, fully seeded simulation.  This module exploits that
+independence twice:
+
+* **Parallelism** — :func:`run_configs` shards a list of experiment
+  configurations across a ``multiprocessing`` pool (``jobs=N``).  Tasks are
+  submitted in input order and results are collected with ``imap``, so the
+  returned list order — and, because every run is deterministic given its
+  config, every byte of every result — is identical to the serial path.
+
+* **Caching** — :class:`ResultCache` persists each
+  :class:`~repro.experiments.runner.ExperimentResult` under a
+  content-addressed key: a SHA-256 over the canonical JSON form of the
+  config, the package version, and the cache schema version
+  (:func:`config_fingerprint`).  Re-running a grid, or regenerating a
+  different artifact view over the same grid, only computes missing cells.
+  A version bump changes every fingerprint, so stale entries are never
+  hit — invalidation is structural, not TTL-based.
+
+Determinism contract: workers never share RNG state.  Each cell builds its
+own :class:`~repro.sim.rng.RngRegistry` from ``config.seed`` inside the
+worker process, exactly as the serial path does, which is why parallel
+results are bit-identical to serial ones (enforced by
+``tests/experiments/test_parallel.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import sys
+import traceback
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, TextIO, Tuple, Union
+
+import repro
+from repro.experiments.config import ExperimentConfig, MultiNodeConfig
+from repro.experiments.runner import (
+    ExperimentResult,
+    run_experiment,
+    run_multi_node_experiment,
+)
+from repro.metrics.serialize import records_from_dicts, records_to_dicts
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "EngineOptions",
+    "EngineStats",
+    "ResultCache",
+    "WorkerError",
+    "config_fingerprint",
+    "config_to_dict",
+    "config_from_dict",
+    "result_to_payload",
+    "result_from_payload",
+    "run_configs",
+    "progress_printer",
+]
+
+AnyConfig = Union[ExperimentConfig, MultiNodeConfig]
+Runner = Callable[[AnyConfig], ExperimentResult]
+ProgressCallback = Callable[[int, int, str, bool], None]
+
+#: Bump when the cached payload layout changes; old entries then miss.
+CACHE_SCHEMA_VERSION = 1
+
+_CONFIG_TYPES = {
+    "ExperimentConfig": ExperimentConfig,
+    "MultiNodeConfig": MultiNodeConfig,
+}
+
+
+# ----------------------------------------------------------------------
+# Config / result serialization and fingerprinting
+# ----------------------------------------------------------------------
+def config_to_dict(config: AnyConfig) -> Dict[str, Any]:
+    """A JSON-compatible, type-tagged dict of a config's fields."""
+    data = {f.name: getattr(config, f.name) for f in fields(config)}
+    data["node_overrides"] = [list(pair) for pair in config.node_overrides]
+    return {"type": type(config).__name__, "fields": data}
+
+
+def _untuple(value: Any) -> Any:
+    """JSON turns tuples into lists; restore tuples recursively so a config
+    round-trips equal to the original (override values are tuples or
+    scalars in practice)."""
+    if isinstance(value, list):
+        return tuple(_untuple(item) for item in value)
+    return value
+
+
+def config_from_dict(payload: Dict[str, Any]) -> AnyConfig:
+    """Inverse of :func:`config_to_dict`."""
+    cls = _CONFIG_TYPES[payload["type"]]
+    data = dict(payload["fields"])
+    data["node_overrides"] = tuple(
+        (name, _untuple(value)) for name, value in data["node_overrides"]
+    )
+    return cls(**data)
+
+
+def config_fingerprint(config: AnyConfig, *, namespace: str = "") -> str:
+    """Content-addressed cache key: SHA-256 over the canonical JSON form of
+    the config plus the package and cache-schema versions.
+
+    Any field change, package version bump, or schema bump yields a new
+    fingerprint, so the cache never serves results produced by different
+    code or a different configuration.  ``namespace`` separates results
+    produced by different runners (see :class:`ResultCache`).
+    """
+    material = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "package_version": repro.__version__,
+        "namespace": namespace,
+        "config": config_to_dict(config),
+    }
+    blob = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def result_to_payload(result: ExperimentResult) -> Dict[str, Any]:
+    """A JSON-compatible payload for one experiment result."""
+    return {
+        "config": config_to_dict(result.config),
+        "records": records_to_dicts(result.records),
+        "node_stats": result.node_stats,
+    }
+
+
+def result_from_payload(payload: Dict[str, Any]) -> ExperimentResult:
+    """Inverse of :func:`result_to_payload`."""
+    return ExperimentResult(
+        config=config_from_dict(payload["config"]),
+        records=records_from_dicts(payload["records"]),
+        node_stats=payload["node_stats"],
+    )
+
+
+# ----------------------------------------------------------------------
+# On-disk cache
+# ----------------------------------------------------------------------
+class ResultCache:
+    """Content-addressed result store under ``root``.
+
+    Entries live at ``root/<fp[:2]>/<fp>.json`` (two-level fan-out keeps
+    directories small on full-paper grids).  Writes are atomic
+    (temp file + :func:`os.replace`), so concurrent workers or interrupted
+    runs never leave a partially written entry; corrupt or unreadable
+    entries are treated as misses and recomputed.
+    """
+
+    def __init__(self, root: Union[str, Path], namespace: str = "") -> None:
+        # expanduser: '~/...' roots arrive unexpanded from Python callers
+        # and env vars (REPRO_CACHE_DIR); without this a literal '~'
+        # directory appears in the CWD and the cache is never shared with
+        # shell-expanded CLI paths.
+        self.root = Path(root).expanduser()
+        # Fail fast on an unusable root (e.g. an existing file) before any
+        # experiment time is spent computing results that cannot be stored.
+        self.root.mkdir(parents=True, exist_ok=True)
+        #: Mixed into every fingerprint; the engine sets this to the custom
+        #: runner's qualified name so results produced by different runners
+        #: never collide in a shared cache directory.
+        self.namespace = namespace
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_for(self, config: AnyConfig) -> Path:
+        fingerprint = config_fingerprint(config, namespace=self.namespace)
+        return self.root / fingerprint[:2] / f"{fingerprint}.json"
+
+    def load(self, config: AnyConfig) -> Optional[ExperimentResult]:
+        """The cached result for ``config``, or ``None`` on a miss."""
+        path = self.path_for(config)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            result = result_from_payload(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, config: AnyConfig, result: ExperimentResult) -> Path:
+        """Persist ``result`` under ``config``'s fingerprint atomically."""
+        path = self.path_for(config)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "fingerprint": path.stem,
+            "schema": CACHE_SCHEMA_VERSION,
+            "package_version": repro.__version__,
+            "result": result_to_payload(result),
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        os.replace(tmp, path)
+        self.stores += 1
+        return path
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+@dataclass
+class EngineStats:
+    """What one :func:`run_configs` invocation did."""
+
+    total: int = 0
+    computed: int = 0
+    cached: int = 0
+    jobs: int = 1
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Execution knobs threaded through the artifact registry and CLI."""
+
+    jobs: int = 1
+    cache_dir: Optional[str] = None
+    progress: Optional[ProgressCallback] = None
+
+    def run_kwargs(self) -> Dict[str, Any]:
+        return {
+            "jobs": self.jobs,
+            "cache_dir": self.cache_dir,
+            "progress": self.progress,
+        }
+
+
+class WorkerError(RuntimeError):
+    """An experiment raised inside a worker process.
+
+    Carries the failing config's label and the remote traceback text, since
+    the original exception object cannot always cross the process boundary.
+    """
+
+    def __init__(self, label: str, message: str, remote_traceback: str) -> None:
+        super().__init__(f"experiment {label!r} failed in worker: {message}")
+        self.label = label
+        self.remote_traceback = remote_traceback
+
+
+def progress_printer(stream: Optional[TextIO] = None) -> ProgressCallback:
+    """A progress callback writing ``[done/total] run|cache <label>`` lines
+    (to stderr by default, keeping stdout clean for rendered reports)."""
+
+    def report(done: int, total: int, label: str, cached: bool) -> None:
+        out = stream if stream is not None else sys.stderr
+        out.write(f"[{done:>4}/{total}] {'cache' if cached else 'run  '} {label}\n")
+        out.flush()
+
+    return report
+
+
+def _default_runner(config: AnyConfig) -> Runner:
+    if isinstance(config, MultiNodeConfig):
+        return run_multi_node_experiment
+    return run_experiment
+
+
+def _runner_namespace(runner: Optional[Runner]) -> str:
+    """Cache namespace for a custom runner (empty for the defaults).
+
+    Runners without a stable qualified name (lambdas, partials) fall back
+    to ``repr`` — nondeterministic across processes, which safely degrades
+    such caches to per-invocation scope rather than ever serving another
+    runner's results.
+    """
+    if runner is None:
+        return ""
+    module = getattr(runner, "__module__", "?")
+    qualname = getattr(runner, "__qualname__", None)
+    if not qualname or "<lambda>" in qualname:
+        return repr(runner)
+    return f"{module}.{qualname}"
+
+
+_OK, _ERR = "ok", "err"
+
+
+def _execute(task: Tuple[int, AnyConfig, Runner]) -> Tuple[str, int, Any, Any, Any]:
+    """Pool worker: run one experiment, shipping failures back as data so
+    the parent can raise a :class:`WorkerError` with full context."""
+    index, config, runner = task
+    try:
+        return (_OK, index, runner(config), None, None)
+    except Exception as exc:  # noqa: BLE001 - re-raised in the parent
+        message = f"{type(exc).__name__}: {exc}"
+        return (_ERR, index, config.label(), message, traceback.format_exc())
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    # fork shares the already-imported package with workers (fast startup)
+    # but is only safe on Linux — macOS deliberately defaults to spawn
+    # (fork is unreliable with threads/the ObjC runtime there) and Windows
+    # has no fork.  Elsewhere use the platform default, which works because
+    # _execute and the runners are picklable top-level callables.
+    if sys.platform == "linux":
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()  # pragma: no cover - non-Linux
+
+
+def run_configs(
+    configs: Iterable[AnyConfig],
+    *,
+    jobs: int = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+    runner: Optional[Runner] = None,
+    progress: Optional[ProgressCallback] = None,
+    stats: Optional[EngineStats] = None,
+) -> List[ExperimentResult]:
+    """Run experiments, optionally in parallel and through a result cache.
+
+    Parameters
+    ----------
+    configs:
+        Experiment configurations; the returned list matches their order.
+    jobs:
+        Worker processes.  ``1`` (the default) runs inline in this process
+        — the exact code path the repo has always had; failures then raise
+        the original exception.  ``N > 1`` shards cache misses across a
+        ``multiprocessing`` pool; a failure in any worker raises
+        :class:`WorkerError` and cancels the remaining work.
+    cache_dir:
+        Root of an on-disk :class:`ResultCache`.  Hits skip computation
+        entirely; misses are computed and stored.  ``None`` disables
+        caching.
+    runner:
+        Override the per-config runner (must be a picklable top-level
+        callable when ``jobs > 1``).  Defaults to
+        :func:`~repro.experiments.runner.run_experiment` /
+        :func:`~repro.experiments.runner.run_multi_node_experiment`
+        depending on each config's type.
+    progress:
+        ``callback(done, total, label, cached)`` invoked once per finished
+        config (see :func:`progress_printer`).
+    stats:
+        An :class:`EngineStats` to fill in place (total/computed/cached).
+
+    Results are bit-identical across ``jobs`` values: each config seeds its
+    own RNGs inside whichever process runs it, and result order is fixed by
+    input order, not completion order.
+    """
+    configs = list(configs)
+    stats = stats if stats is not None else EngineStats()
+    stats.total = len(configs)
+    stats.jobs = max(1, int(jobs))
+    cache = (
+        ResultCache(cache_dir, namespace=_runner_namespace(runner))
+        if cache_dir is not None
+        else None
+    )
+
+    results: List[Optional[ExperimentResult]] = [None] * len(configs)
+    done = 0
+
+    def finished(index: int, config: AnyConfig, result: ExperimentResult, cached: bool) -> None:
+        nonlocal done
+        results[index] = result
+        done += 1
+        if cached:
+            stats.cached += 1
+        else:
+            stats.computed += 1
+            if cache is not None:
+                cache.store(config, result)
+        if progress is not None:
+            progress(done, stats.total, config.label(), cached)
+
+    pending: List[Tuple[int, AnyConfig, Runner]] = []
+    for index, config in enumerate(configs):
+        hit = cache.load(config) if cache is not None else None
+        if hit is not None:
+            finished(index, config, hit, cached=True)
+        else:
+            pending.append((index, config, runner or _default_runner(config)))
+
+    if not pending:
+        return results  # type: ignore[return-value]
+
+    if stats.jobs <= 1:
+        for index, config, run in pending:
+            finished(index, config, run(config), cached=False)
+        return results  # type: ignore[return-value]
+
+    if len(pending) == 1:
+        # One miss does not warrant a pool, but jobs > 1 promises the
+        # WorkerError contract, so route through the same wrapper.
+        outcomes = map(_execute, pending)
+    else:
+        workers = min(stats.jobs, len(pending))
+        pool = _pool_context().Pool(processes=workers)
+        # imap yields in submission order regardless of which worker ran
+        # what — deterministic output for free; chunksize=1 load-balances
+        # the heavier high-intensity cells.
+        outcomes = pool.imap(_execute, pending, chunksize=1)
+    try:
+        for (index, config, _), outcome in zip(pending, outcomes):
+            status, _idx, payload, message, remote_tb = outcome
+            if status == _ERR:
+                raise WorkerError(payload, message, remote_tb)
+            finished(index, config, payload, cached=False)
+    finally:
+        if len(pending) > 1:
+            pool.terminate()
+            pool.join()
+    return results  # type: ignore[return-value]

@@ -1,14 +1,17 @@
 """Experiment registry: one entry per paper artifact (see DESIGN.md §4).
 
-Each entry maps an experiment id to a callable ``run(quick: bool) -> str``
-returning a rendered report.  ``quick=True`` runs a scaled-down version
-(fewer seeds / smaller sweeps) suitable for CI and the default benchmark
-invocation; ``quick=False`` reproduces the paper's full protocol.
+Each entry maps an experiment id to a callable
+``run(quick: bool, engine: EngineOptions) -> str`` returning a rendered
+report.  ``quick=True`` runs a scaled-down version (fewer seeds / smaller
+sweeps) suitable for CI and the default benchmark invocation;
+``quick=False`` reproduces the paper's full protocol.  ``engine`` carries
+the execution knobs (worker count, cache directory, progress callback) for
+the grid-backed artifacts; artifacts that do not run the grid ignore it.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.experiments.ablations import (
     ablate_busy_limit,
@@ -26,6 +29,7 @@ from repro.experiments.fig2_coldstarts import run_fig2
 from repro.experiments.fig5_fairness import run_fig5
 from repro.experiments.fig6_multinode import run_fig6
 from repro.experiments.grid import GridSpec, run_grid
+from repro.experiments.parallel import EngineOptions, ProgressCallback
 from repro.experiments.table1 import run_table1
 
 __all__ = ["EXPERIMENTS", "run_registered", "experiment_ids"]
@@ -42,11 +46,11 @@ def _grid_spec(quick: bool) -> GridSpec:
     return GridSpec()
 
 
-def _table1(quick: bool) -> str:
+def _table1(quick: bool, engine: EngineOptions) -> str:
     return run_table1(calls_per_function=20 if quick else 50).render()
 
 
-def _fig2(quick: bool) -> str:
+def _fig2(quick: bool, engine: EngineOptions) -> str:
     if quick:
         return run_fig2(
             memories_mb=(4096, 16384, 32768, 131072), intensities=(30, 120)
@@ -54,42 +58,42 @@ def _fig2(quick: bool) -> str:
     return run_fig2().render()
 
 
-def _fig3(quick: bool) -> str:
-    return fig3_from_grid(run_grid(_grid_spec(quick))).render()
+def _fig3(quick: bool, engine: EngineOptions) -> str:
+    return fig3_from_grid(run_grid(_grid_spec(quick), **engine.run_kwargs())).render()
 
 
-def _fig4(quick: bool) -> str:
-    return fig4_from_grid(run_grid(_grid_spec(quick))).render()
+def _fig4(quick: bool, engine: EngineOptions) -> str:
+    return fig4_from_grid(run_grid(_grid_spec(quick), **engine.run_kwargs())).render()
 
 
-def _table2(quick: bool) -> str:
+def _table2(quick: bool, engine: EngineOptions) -> str:
     spec = _grid_spec(quick)
     if quick:
         spec = GridSpec(
             cores=(5, 20), intensities=(30, 120),
             strategies=("baseline", "FIFO"), seeds=(1, 2),
         )
-    return table2_from_grid(run_grid(spec)).render()
+    return table2_from_grid(run_grid(spec, **engine.run_kwargs())).render()
 
 
-def _table3(quick: bool) -> str:
-    grid = run_grid(_grid_spec(quick))
+def _table3(quick: bool, engine: EngineOptions) -> str:
+    grid = run_grid(_grid_spec(quick), **engine.run_kwargs())
     result = table3_from_grid(grid)
     return result.render() + "\n\n" + result.render_comparison()
 
 
-def _table4(quick: bool) -> str:
+def _table4(quick: bool, engine: EngineOptions) -> str:
     spec = _grid_spec(quick)
     if quick:
         spec = GridSpec(cores=(10,), intensities=(30,), seeds=(1, 2, 3))
-    return table3_from_grid(run_grid(spec), per_seed=True).render()
+    return table3_from_grid(run_grid(spec, **engine.run_kwargs()), per_seed=True).render()
 
 
-def _fig5(quick: bool) -> str:
+def _fig5(quick: bool, engine: EngineOptions) -> str:
     return run_fig5(seeds=(1,) if quick else (1, 2, 3, 4, 5)).render()
 
 
-def _fig6(quick: bool) -> str:
+def _fig6(quick: bool, engine: EngineOptions) -> str:
     seeds = (1,) if quick else (1, 2, 3, 4, 5)
     reports = [run_fig6(cores_per_node=18, seeds=seeds).render()]
     if not quick:
@@ -97,7 +101,7 @@ def _fig6(quick: bool) -> str:
     return "\n\n".join(reports)
 
 
-def _ablations(quick: bool) -> str:
+def _ablations(quick: bool, engine: EngineOptions) -> str:
     reports = [
         ablate_estimator_window().render(),
         ablate_busy_limit().render(),
@@ -109,7 +113,7 @@ def _ablations(quick: bool) -> str:
 
 
 #: Experiment id -> (description, runner).
-EXPERIMENTS: Dict[str, tuple[str, Callable[[bool], str]]] = {
+EXPERIMENTS: Dict[str, tuple[str, Callable[[bool, EngineOptions], str]]] = {
     "table1": ("Table I — idle-system SeBS function benchmark", _table1),
     "fig2": ("Fig. 2 — cold starts vs. memory and intensity", _fig2),
     "fig3": ("Fig. 3 — response-time boxes over the grid", _fig3),
@@ -127,12 +131,25 @@ def experiment_ids() -> List[str]:
     return list(EXPERIMENTS)
 
 
-def run_registered(experiment_id: str, quick: bool = True) -> str:
-    """Run a registered experiment and return its rendered report."""
+def run_registered(
+    experiment_id: str,
+    quick: bool = True,
+    *,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> str:
+    """Run a registered experiment and return its rendered report.
+
+    ``jobs``, ``cache_dir`` and ``progress`` configure the parallel
+    execution engine for the grid-backed artifacts (fig3/fig4 and
+    tables 2–4); the remaining artifacts run as before.
+    """
     try:
         _, runner = EXPERIMENTS[experiment_id]
     except KeyError:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; available: {', '.join(EXPERIMENTS)}"
         ) from None
-    return runner(quick)
+    engine = EngineOptions(jobs=jobs, cache_dir=cache_dir, progress=progress)
+    return runner(quick, engine)

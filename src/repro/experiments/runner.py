@@ -145,8 +145,22 @@ def run_multi_node_experiment(config: MultiNodeConfig) -> ExperimentResult:
 
 
 def run_repetitions(
-    config: ExperimentConfig, seeds: Sequence[int] = (1, 2, 3, 4, 5)
+    config: ExperimentConfig,
+    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+    *,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> List[ExperimentResult]:
     """The paper's 5-repetition protocol: same configuration, different
-    random call sequences."""
-    return [run_experiment(config.with_(seed=seed)) for seed in seeds]
+    random call sequences.
+
+    ``jobs``/``cache_dir`` route the repetitions through the
+    :mod:`repro.experiments.parallel` engine (worker pool + on-disk result
+    cache); ``jobs=1`` without a cache is the plain serial path.
+    """
+    # Local import: parallel imports run_experiment from this module.
+    from repro.experiments.parallel import run_configs
+
+    return run_configs(
+        [config.with_(seed=seed) for seed in seeds], jobs=jobs, cache_dir=cache_dir
+    )

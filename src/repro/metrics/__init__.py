@@ -10,6 +10,12 @@ from repro.metrics.stats import (
     summarize,
 )
 from repro.metrics.report import format_table, render_summary_table
+from repro.metrics.serialize import (
+    record_from_dict,
+    record_to_dict,
+    records_from_dicts,
+    records_to_dicts,
+)
 
 __all__ = [
     "BoxStats",
@@ -18,6 +24,10 @@ __all__ = [
     "box_stats",
     "format_table",
     "percentile",
+    "record_from_dict",
+    "record_to_dict",
+    "records_from_dicts",
+    "records_to_dicts",
     "render_boxplot",
     "render_summary_table",
     "summarize",

@@ -1,0 +1,47 @@
+"""JSON-compatible (de)serialization of call records.
+
+The on-disk result cache (:mod:`repro.experiments.parallel`) persists
+:class:`~repro.metrics.records.CallRecord` lists as JSON.  Python's ``json``
+module emits floats with ``repr``, which round-trips IEEE-754 doubles
+exactly, so a record loaded from the cache is bit-identical to the record
+that was stored — the property the serial-vs-parallel identity tests rely
+on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+from typing import Any, Dict, Iterable, List, Sequence
+
+from repro.metrics.records import CallRecord
+
+__all__ = [
+    "record_to_dict",
+    "record_from_dict",
+    "records_to_dicts",
+    "records_from_dicts",
+]
+
+#: Field order is fixed by the dataclass definition, so serialized records
+#: are stable across runs (useful for diffing cache entries).
+_RECORD_FIELDS = tuple(f.name for f in fields(CallRecord))
+
+
+def record_to_dict(record: CallRecord) -> Dict[str, Any]:
+    """A JSON-compatible dict with one key per dataclass field."""
+    return {name: getattr(record, name) for name in _RECORD_FIELDS}
+
+
+def record_from_dict(data: Dict[str, Any]) -> CallRecord:
+    """Inverse of :func:`record_to_dict`; ignores unknown keys so cache
+    entries written by newer minor revisions still load when the record
+    schema only grew."""
+    return CallRecord(**{name: data[name] for name in _RECORD_FIELDS})
+
+
+def records_to_dicts(records: Iterable[CallRecord]) -> List[Dict[str, Any]]:
+    return [record_to_dict(r) for r in records]
+
+
+def records_from_dicts(data: Sequence[Dict[str, Any]]) -> List[CallRecord]:
+    return [record_from_dict(d) for d in data]

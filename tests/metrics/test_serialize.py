@@ -1,0 +1,65 @@
+"""Record (de)serialization used by the on-disk result cache."""
+
+import json
+import math
+
+import pytest
+
+from repro.metrics.records import CallRecord
+from repro.metrics.serialize import (
+    record_from_dict,
+    record_to_dict,
+    records_from_dicts,
+    records_to_dicts,
+)
+
+
+def make_record(**overrides) -> CallRecord:
+    base = dict(
+        rid=7,
+        function_name="dna-visualisation",
+        invoker="SEPT-node",
+        release_time=0.1 + 0.2,  # deliberately not exactly 0.3
+        received_at=0.30000000000000004,
+        dispatched_at=0.5,
+        exec_start=0.6,
+        exec_end=1.9,
+        completed_at=2.0,
+        service_time=1.3,
+        reference_response_time=1.25,
+        cold_start=False,
+        start_kind="warm",
+    )
+    base.update(overrides)
+    return CallRecord(**base)
+
+
+class TestRecordSerialize:
+    def test_round_trip_is_equal(self):
+        record = make_record()
+        assert record_from_dict(record_to_dict(record)) == record
+
+    def test_json_round_trip_preserves_float_bits(self):
+        record = make_record(release_time=1 / 3, completed_at=math.pi)
+        data = json.loads(json.dumps(record_to_dict(record)))
+        loaded = record_from_dict(data)
+        assert loaded.release_time == record.release_time
+        assert loaded.completed_at == record.completed_at
+        # Derived metrics therefore match bit-for-bit too.
+        assert loaded.response_time == record.response_time
+        assert loaded.stretch == record.stretch
+
+    def test_unknown_keys_ignored(self):
+        data = record_to_dict(make_record())
+        data["added_in_future_version"] = 123
+        assert record_from_dict(data) == make_record()
+
+    def test_missing_key_raises(self):
+        data = record_to_dict(make_record())
+        del data["rid"]
+        with pytest.raises(KeyError):
+            record_from_dict(data)
+
+    def test_list_helpers(self):
+        records = [make_record(rid=i) for i in range(3)]
+        assert records_from_dicts(records_to_dicts(records)) == records
