@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""CSV trace replay, end to end.
+
+Generates a tiny synthetic Azure-shaped trace file (``app,func,minute,
+count`` rows: a steady application plus one that spikes in minute 2),
+replays it through the simulator under two scheduling policies via the
+``replay`` scenario, and prints the metrics report.
+
+The same file runs from the command line::
+
+    faas-sched simulate --scenario replay \
+        --scenario-param path=/tmp/azure_like_trace.csv \
+        --scenario-param minute_s=10
+
+Run:
+    python examples/trace_replay.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import ExperimentConfig, run_experiment
+from repro.metrics.report import render_summary_table
+from repro.workload.replay import TraceRow, write_trace_csv
+
+CORES = 8
+SEED = 1
+#: Compress each trace minute to 10 simulated seconds to keep the run short.
+MINUTE_S = 10.0
+
+
+def synthetic_trace() -> list:
+    """Five trace minutes: app 'steady' hums along while app 'spiky'
+    bursts in minute 2 — the uneven-rate shape of the Azure trace."""
+    rows = []
+    for minute in range(5):
+        rows.append(TraceRow("steady", "api", minute, 20))
+        rows.append(TraceRow("steady", "thumbs", minute, 8))
+        rows.append(TraceRow("spiky", "batch", minute, 120 if minute == 2 else 2))
+    return rows
+
+
+def main() -> None:
+    trace_path = Path(tempfile.gettempdir()) / "azure_like_trace.csv"
+    rows = synthetic_trace()
+    write_trace_csv(trace_path, rows)
+    total = sum(r.count for r in rows)
+    print(
+        f"Wrote {len(rows)} trace rows ({total} invocations over 5 minutes) "
+        f"to {trace_path}\nReplaying on a {CORES}-core node at "
+        f"{MINUTE_S:.0f} s per trace minute:\n"
+    )
+
+    entries = []
+    for policy in ("baseline", "SEPT"):
+        config = ExperimentConfig(
+            cores=CORES,
+            intensity=30,  # shapes the node only; the trace defines the load
+            policy=policy,
+            seed=SEED,
+            scenario="replay",
+            scenario_params={"path": str(trace_path), "minute_s": MINUTE_S},
+        )
+        result = run_experiment(config)
+        entries.append((policy, result.summary()))
+        stats = result.node_stats[0]
+        print(
+            f"{policy:>8}: {len(result.records)} calls answered, "
+            f"{result.cold_starts} cold starts, "
+            f"{int(stats['evictions'])} evictions"
+        )
+
+    print()
+    print(render_summary_table(entries, title="Trace replay — response time [s] and stretch"))
+    print(
+        "\nEach app/func keeps its own containers (namespace_functions=true),"
+        "\nso the minute-2 spike of 'spiky/batch' contends with the steady"
+        "\napps for cores and memory exactly as in a multi-tenant deployment."
+    )
+
+
+if __name__ == "__main__":
+    main()

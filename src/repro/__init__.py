@@ -28,6 +28,14 @@ _EXPORTS = {
     "sebs_catalog": "repro.workload.functions",
     "BurstScenario": "repro.workload.generator",
     "requests_for_intensity": "repro.workload.generator",
+    "ScenarioParam": "repro.workload.registry",
+    "ScenarioRegistry": "repro.workload.registry",
+    "ScenarioSpec": "repro.workload.registry",
+    "register_scenario": "repro.workload.registry",
+    "build_scenario": "repro.workload.registry",
+    "get_scenario": "repro.workload.registry",
+    "scenario_names": "repro.workload.registry",
+    "replay_scenario": "repro.workload.replay",
     "POLICIES": "repro.scheduling.policies",
     "SchedulingPolicy": "repro.scheduling.policies",
     "FirstInFirstOut": "repro.scheduling.policies",
@@ -102,3 +110,13 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
     )
     from repro.workload.functions import FunctionSpec, sebs_catalog
     from repro.workload.generator import BurstScenario, requests_for_intensity
+    from repro.workload.registry import (
+        ScenarioParam,
+        ScenarioRegistry,
+        ScenarioSpec,
+        build_scenario,
+        get_scenario,
+        register_scenario,
+        scenario_names,
+    )
+    from repro.workload.replay import replay_scenario

@@ -2,9 +2,10 @@
 
 Examples
 --------
-List the reproducible artifacts::
+List the reproducible artifacts, and the registered workload scenarios::
 
     faas-sched list
+    faas-sched scenarios
 
 Reproduce an artifact (scaled-down)::
 
@@ -15,29 +16,37 @@ on-disk result cache (re-runs only compute missing cells)::
 
     faas-sched run table3 --full --jobs 8 --cache-dir ~/.cache/faas-sched
 
-Run the experiment grid directly, selecting a slice::
+Rerun a grid-backed artifact under a different registered workload::
+
+    faas-sched run table3 --scenario poisson --scenario-param zipf_exponent=1.1
+
+Run the experiment grid directly, selecting a slice and a scenario::
 
     faas-sched grid --jobs 4 --cores 10 20 --intensities 30 60 --seeds 1 2
+    faas-sched grid --scenario diurnal --scenario-param amplitude=0.9
 
 Run a single ad-hoc experiment::
 
     faas-sched simulate --cores 10 --intensity 60 --policy SEPT --seed 1
+    faas-sched simulate --scenario replay --scenario-param path=trace.csv
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from dataclasses import replace
-from typing import Optional, Sequence
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.grid import GridSpec, run_grid
-from repro.experiments.parallel import ResultCache, progress_printer
+from repro.experiments.parallel import ResultCache, WorkerError, progress_printer
 from repro.experiments.registry import EXPERIMENTS, run_registered
 from repro.experiments.runner import run_experiment
 from repro.experiments.artifacts import table3_from_grid
 from repro.metrics.report import render_summary_table
+from repro.workload.registry import get_scenario, scenario_names
 
 __all__ = ["main", "build_parser"]
 
@@ -66,6 +75,60 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_scenario_arguments(
+    parser: argparse.ArgumentParser, default: Optional[str] = None
+) -> None:
+    """Workload-scenario selection shared by run/grid/simulate."""
+    parser.add_argument(
+        "--scenario",
+        default=default,
+        choices=scenario_names(),
+        metavar="NAME",
+        help=(
+            "workload scenario (see 'faas-sched scenarios'); "
+            + ("default: each artifact's own workload" if default is None else f"default: {default}")
+        ),
+    )
+    parser.add_argument(
+        "--scenario-param",
+        action="append",
+        default=[],
+        metavar="K=V",
+        help=(
+            "scenario builder parameter as key=value (repeatable); values "
+            "are parsed as JSON, falling back to strings "
+            "(e.g. --scenario-param rare_count=20)"
+        ),
+    )
+
+
+#: Python-style literals users type out of habit; without this mapping
+#: json.loads fails and e.g. "False" would survive as a *truthy* string.
+_PYTHON_LITERALS = {"True": True, "False": False, "None": None}
+
+
+def _parse_scenario_params(pairs: Sequence[str]) -> Tuple[Tuple[str, Any], ...]:
+    """``["k=v", ...]`` → ``(("k", parsed_v), ...)``; values JSON-decoded
+    when possible (Python's True/False/None spellings accepted too) so
+    numbers/bools/lists arrive typed."""
+    params: List[Tuple[str, Any]] = []
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(
+                f"error: --scenario-param expects key=value, got {pair!r}"
+            )
+        if raw in _PYTHON_LITERALS:
+            value: Any = _PYTHON_LITERALS[raw]
+        else:
+            try:
+                value = json.loads(raw)
+            except ValueError:
+                value = raw
+        params.append((key, value))
+    return tuple(params)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="faas-sched",
@@ -78,6 +141,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list reproducible paper artifacts")
 
+    sub.add_parser(
+        "scenarios",
+        help="list registered workload scenarios and their parameters",
+    )
+
     run = sub.add_parser("run", help="reproduce a paper artifact")
     run.add_argument("experiment", choices=sorted(EXPERIMENTS), help="artifact id")
     run.add_argument(
@@ -86,6 +154,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the paper's full protocol (all seeds/sweeps); slower",
     )
     _add_engine_arguments(run)
+    _add_scenario_arguments(run)
 
     grid = sub.add_parser(
         "grid",
@@ -106,6 +175,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="render Table-IV style per-seed rows instead of pooled aggregates",
     )
     _add_engine_arguments(grid)
+    _add_scenario_arguments(grid, default="uniform")
 
     sim = sub.add_parser("simulate", help="run one ad-hoc single-node experiment")
     sim.add_argument("--cores", type=int, default=10)
@@ -113,9 +183,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--policy", default="FIFO", choices=_POLICY_CHOICES)
     sim.add_argument("--seed", type=int, default=1)
     sim.add_argument("--memory-mb", type=int, default=32768)
-    sim.add_argument(
-        "--scenario", default="uniform", choices=["uniform", "skewed", "azure"]
-    )
+    _add_scenario_arguments(sim, default="uniform")
     return parser
 
 
@@ -130,7 +198,30 @@ def _grid_spec_from_args(args: argparse.Namespace) -> GridSpec:
         overrides["strategies"] = tuple(args.strategies)
     if args.seeds:
         overrides["seeds"] = tuple(args.seeds)
+    if args.scenario:
+        overrides["scenario"] = args.scenario
+        overrides["scenario_params"] = _parse_scenario_params(args.scenario_param)
     return replace(spec, **overrides) if overrides else spec
+
+
+def _render_scenarios() -> str:
+    """The ``faas-sched scenarios`` listing, straight from the registry."""
+    lines = []
+    for name in scenario_names():
+        spec = get_scenario(name)
+        lines.append(f"{name}  [{spec.paper_section}]")
+        lines.append(f"    {spec.description}")
+        for param in spec.params:
+            default = "(required)" if param.required else f"default: {param.default!r}"
+            lines.append(f"    --scenario-param {param.name}=...  {default}")
+            if param.doc:
+                lines.append(f"        {param.doc}")
+    lines.append("")
+    lines.append(
+        "run one with: faas-sched simulate --scenario NAME "
+        "[--scenario-param K=V ...]"
+    )
+    return "\n".join(lines)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -142,6 +233,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{eid.ljust(width)}  {description}")
         return 0
 
+    if args.command == "scenarios":
+        print(_render_scenarios())
+        return 0
+
+    if getattr(args, "scenario", None) is not None:
+        # Validate scenario parameters up front for a clean CLI error
+        # (the config would reject them anyway, but with a traceback).
+        try:
+            get_scenario(args.scenario).validate_params(
+                dict(_parse_scenario_params(args.scenario_param))
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    elif getattr(args, "scenario_param", None):
+        # 'run' without --scenario keeps each artifact's own workload;
+        # silently dropping the params would be worse than refusing.
+        print(
+            "error: --scenario-param requires --scenario "
+            "(see 'faas-sched scenarios')",
+            file=sys.stderr,
+        )
+        return 2
+
     if args.command in ("run", "grid") and args.cache_dir is not None:
         # Probe the cache root now: a bad --cache-dir should fail before
         # any experiment time is spent, not at the first store().
@@ -152,24 +267,42 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 2
 
     if args.command == "run":
-        report = run_registered(
-            args.experiment,
-            quick=not args.full,
-            jobs=args.jobs,
-            cache_dir=args.cache_dir,
-            progress=None if args.no_progress else progress_printer(),
-        )
+        try:
+            # run_registered rejects a --scenario override for artifacts
+            # with fixed workloads; scenario builds can also fail (empty
+            # stochastic scenario, unreadable replay CSV).
+            report = run_registered(
+                args.experiment,
+                quick=not args.full,
+                jobs=args.jobs,
+                cache_dir=args.cache_dir,
+                progress=None if args.no_progress else progress_printer(),
+                scenario=args.scenario,
+                scenario_params=_parse_scenario_params(args.scenario_param),
+            )
+        except (ValueError, OSError, WorkerError) as exc:
+            # With --jobs > 1 the same failures surface as WorkerError;
+            # its message carries the failing cell and original exception
+            # (rerun with --jobs 1 for the full traceback).
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         print(report)
         return 0
 
     if args.command == "grid":
         spec = _grid_spec_from_args(args)
-        grid = run_grid(
-            spec,
-            jobs=args.jobs,
-            cache_dir=args.cache_dir,
-            progress=None if args.no_progress else progress_printer(),
-        )
+        try:
+            grid = run_grid(
+                spec,
+                jobs=args.jobs,
+                cache_dir=args.cache_dir,
+                progress=None if args.no_progress else progress_printer(),
+            )
+        except (ValueError, OSError, WorkerError) as exc:
+            # e.g. an empty stochastic scenario or an unreadable replay
+            # CSV — wrapped in WorkerError when --jobs > 1.
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         print(table3_from_grid(grid, per_seed=args.per_seed).render())
         stats = grid.stats
         if stats is not None:
@@ -181,15 +314,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     if args.command == "simulate":
-        cfg = ExperimentConfig(
-            cores=args.cores,
-            intensity=args.intensity,
-            policy=args.policy,
-            seed=args.seed,
-            memory_mb=args.memory_mb,
-            scenario=args.scenario,
-        )
-        result = run_experiment(cfg)
+        try:
+            # Construction validates scenario params (e.g. value types);
+            # the run can fail on an empty stochastic scenario or a
+            # replay CSV that does not exist / cannot be read.
+            cfg = ExperimentConfig(
+                cores=args.cores,
+                intensity=args.intensity,
+                policy=args.policy,
+                seed=args.seed,
+                memory_mb=args.memory_mb,
+                scenario=args.scenario,
+                scenario_params=_parse_scenario_params(args.scenario_param),
+            )
+            result = run_experiment(cfg)
+        except (ValueError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         print(render_summary_table([(cfg.label(), result.summary())]))
         stats = result.node_stats[0]
         print(

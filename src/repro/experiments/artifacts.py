@@ -34,11 +34,26 @@ __all__ = [
 # ----------------------------------------------------------------------
 # Table II — FIFO/baseline makespan ratios
 # ----------------------------------------------------------------------
+ScenarioParams = Tuple[Tuple[str, object], ...]
+
+
+def _scenario_tag(scenario: str, params: ScenarioParams = ()) -> str:
+    """Title suffix when a report's grid ran under a workload override —
+    the override (name *and* parameters) changes what the numbers mean,
+    so every view says so."""
+    if scenario == "uniform":
+        return ""
+    detail = " ".join(f"{name}={value}" for name, value in params)
+    return f" [scenario={scenario}{' ' + detail if detail else ''}]"
+
+
 @dataclass
 class Table2Result:
     """(cores, intensity) -> (lo, hi) FIFO/baseline max-c(i) ratio range."""
 
     ranges: Dict[Tuple[int, int], Tuple[float, float]]
+    scenario: str = "uniform"
+    scenario_params: ScenarioParams = ()
 
     def render(self) -> str:
         rows = []
@@ -49,7 +64,8 @@ class Table2Result:
         return format_table(
             ["cores", "intensity", "paper FIFO/baseline", "measured FIFO/baseline"],
             rows,
-            title="Table II — max completion time, FIFO-to-baseline ratios",
+            title="Table II — max completion time, FIFO-to-baseline ratios"
+            + _scenario_tag(self.scenario, self.scenario_params),
         )
 
 
@@ -70,7 +86,11 @@ def table2_from_grid(grid: GridResults) -> Table2Result:
                 continue
             ratios = [f / b for f, b in zip(fifo, base)]
             ranges[key] = (min(ratios), max(ratios))
-    return Table2Result(ranges=ranges)
+    return Table2Result(
+        ranges=ranges,
+        scenario=grid.spec.scenario,
+        scenario_params=grid.spec.scenario_params,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -107,6 +127,7 @@ class Table3Result:
             if self.per_seed
             else "Table III — aggregated numeric results"
         )
+        title += _scenario_tag(self.grid.spec.scenario, self.grid.spec.scenario_params)
         return render_summary_table(entries, title=title)
 
     def render_comparison(self) -> str:
@@ -155,6 +176,8 @@ class FigureBoxes:
 
     metric: str  # "response_time" | "stretch"
     boxes: Dict[Tuple[int, int, str], BoxStats]
+    scenario: str = "uniform"
+    scenario_params: ScenarioParams = ()
 
     def render(self) -> str:
         rows = []
@@ -177,7 +200,8 @@ class FigureBoxes:
         table = format_table(
             ["panel", "strategy", "q1", "median", "q3", "mean", "whisker_hi", "n"],
             rows,
-            title=f"{figure} — box statistics, pooled over seeds",
+            title=f"{figure} — box statistics, pooled over seeds"
+            + _scenario_tag(self.scenario, self.scenario_params),
         )
         return table + "\n\n" + self.render_plots()
 
@@ -225,7 +249,12 @@ def _figure_boxes(grid: GridResults, metric: str) -> FigureBoxes:
                     boxes[(cores, intensity, strategy)] = grid.stretch_box(
                         cores, intensity, strategy
                     )
-    return FigureBoxes(metric=metric, boxes=boxes)
+    return FigureBoxes(
+        metric=metric,
+        boxes=boxes,
+        scenario=grid.spec.scenario,
+        scenario_params=grid.spec.scenario_params,
+    )
 
 
 def fig3_from_grid(grid: GridResults) -> FigureBoxes:

@@ -1,16 +1,56 @@
-"""Experiment configurations."""
+"""Experiment configurations.
+
+``ExperimentConfig.scenario`` names a workload from the scenario registry
+(:mod:`repro.workload.registry`; enumerate with ``faas-sched scenarios``),
+and ``scenario_params`` carries the builder's keyword parameters as a
+tuple of ``(name, value)`` pairs — tuples, not a dict, so configs stay
+hashable and their canonical JSON form (the cache fingerprint) is stable.
+Both are validated against the registry at construction time, so a typo
+fails before any simulation time is spent.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from repro.node.config import NodeConfig
+from repro.workload.registry import get_scenario
 
 __all__ = ["ExperimentConfig", "MultiNodeConfig", "BASELINE"]
 
 #: Pseudo-policy name selecting the stock OpenWhisk invoker.
 BASELINE = "baseline"
+
+#: Scenario parameters as stored on a config: sorted ``(name, value)`` pairs.
+ScenarioParams = Tuple[Tuple[str, Any], ...]
+
+
+def _freeze(name: str, value: Any) -> Any:
+    """Recursively turn lists into tuples so parameter values are hashable
+    and JSON round-trips (which turn tuples into lists) stay canonical;
+    reject value types (mappings, arbitrary objects) that would defeat
+    hashability or surface as confusing errors inside workers."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(name, item) for item in value)
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    raise ValueError(
+        f"scenario parameter {name!r} has unsupported value type "
+        f"{type(value).__name__}; use JSON scalars or lists"
+    )
+
+
+def _freeze_params(params: Union[Mapping[str, Any], ScenarioParams, None]) -> ScenarioParams:
+    """Normalise scenario params (mapping or pair sequence) to name-sorted,
+    hashable ``(name, value)`` tuples — one canonical form per content.
+    Duplicate names resolve last-wins (like repeated CLI flags) before
+    sorting, and sorting compares names only, never values."""
+    if not params:
+        return ()
+    items = params.items() if isinstance(params, Mapping) else params
+    deduped = {str(name): _freeze(str(name), value) for name, value in items}
+    return tuple(sorted(deduped.items()))
 
 
 @dataclass(frozen=True)
@@ -33,8 +73,14 @@ class ExperimentConfig:
     memory_mb:
         Action-container memory pool (32 GiB in the main experiments).
     scenario:
-        ``uniform`` (Sect. V-B grid), ``skewed`` (Sect. VII-D fairness) or
-        ``azure`` (extension).
+        Name of a registered workload scenario (``uniform``, ``skewed``,
+        ``azure``, ``poisson``, ``diurnal``, ``trace``, ``replay``, ... —
+        see ``faas-sched scenarios`` or docs/SCENARIOS.md).
+    scenario_params:
+        Scenario builder parameters as ``(name, value)`` pairs (a mapping
+        is accepted and normalised); validated against the scenario's
+        declared parameters.  Part of the cache fingerprint, so changing a
+        parameter never hits a stale cached result.
     warmup:
         Whether containers and runtime estimates are warmed before the
         burst (the paper always warms; disable to study cold behaviour).
@@ -48,13 +94,26 @@ class ExperimentConfig:
     seed: int = 1
     memory_mb: int = 32768
     scenario: str = "uniform"
+    scenario_params: ScenarioParams = ()
     warmup: bool = True
     window_s: float = 60.0
     node_overrides: Tuple[Tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
-        if self.scenario not in ("uniform", "skewed", "azure"):
-            raise ValueError(f"unknown scenario {self.scenario!r}")
+        # validate_params raises ValueError on an unknown scenario name
+        # (listing what is registered) or an unknown/missing parameter.
+        # Store the *merged* result — declared defaults included — so a
+        # config spelling a default explicitly equals one relying on it,
+        # and so the cache fingerprint covers the defaults: editing a
+        # builder's default in code changes every affected fingerprint
+        # instead of silently serving results computed under the old one.
+        supplied = _freeze_params(self.scenario_params)
+        merged = get_scenario(self.scenario).validate_params(dict(supplied))
+        object.__setattr__(self, "scenario_params", _freeze_params(merged))
+
+    def scenario_kwargs(self) -> Dict[str, Any]:
+        """The scenario parameters as a plain dict (builder kwargs)."""
+        return dict(self.scenario_params)
 
     @property
     def is_baseline(self) -> bool:
@@ -70,7 +129,10 @@ class ExperimentConfig:
         return replace(self, **changes)
 
     def label(self) -> str:
-        return f"{self.policy} c={self.cores} v={self.intensity} seed={self.seed}"
+        base = f"{self.policy} c={self.cores} v={self.intensity} seed={self.seed}"
+        if self.scenario != "uniform":
+            base += f" scenario={self.scenario}"
+        return base
 
 
 @dataclass(frozen=True)

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.experiments.config import BASELINE, ExperimentConfig
 from repro.experiments.parallel import EngineStats, ProgressCallback, run_configs
@@ -40,12 +40,21 @@ FIGURE_INTENSITIES = (30, 40, 60)
 
 @dataclass(frozen=True)
 class GridSpec:
-    """Which slice of the grid to run."""
+    """Which slice of the grid to run, and under which workload.
+
+    ``scenario``/``scenario_params`` select a registered workload scenario
+    (default: the paper's ``uniform`` burst) applied to every cell — so any
+    scenario from ``faas-sched scenarios`` can be swept over the full
+    cores × intensity × strategy × seed grid, cached and parallelized like
+    the paper's own workload.
+    """
 
     cores: Tuple[int, ...] = PAPER_CORES
     intensities: Tuple[int, ...] = PAPER_INTENSITIES
     strategies: Tuple[str, ...] = PAPER_STRATEGIES
     seeds: Tuple[int, ...] = (1, 2, 3, 4, 5)
+    scenario: str = "uniform"
+    scenario_params: Tuple[Tuple[str, Any], ...] = ()
 
     @classmethod
     def quick(cls) -> "GridSpec":
@@ -119,7 +128,8 @@ def run_grid(
     cache_dir: Optional[Union[str, Path]] = None,
     progress: Optional[ProgressCallback] = None,
 ) -> GridResults:
-    """Run (cores × intensity × strategy × seeds) single-node experiments.
+    """Run (cores × intensity × strategy × seeds) single-node experiments
+    under the spec's workload scenario (default: the paper's uniform burst).
 
     Routed through the :mod:`repro.experiments.parallel` engine: ``jobs=N``
     shards cells across a worker pool and ``cache_dir`` enables the on-disk
@@ -129,7 +139,14 @@ def run_grid(
     """
     spec = spec if spec is not None else GridSpec()
     configs = [
-        ExperimentConfig(cores=cores, intensity=intensity, policy=strategy, seed=seed)
+        ExperimentConfig(
+            cores=cores,
+            intensity=intensity,
+            policy=strategy,
+            seed=seed,
+            scenario=spec.scenario,
+            scenario_params=spec.scenario_params,
+        )
         for cores, intensity, strategy in spec.cells()
         for seed in spec.seeds
     ]

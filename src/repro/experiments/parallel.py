@@ -68,7 +68,8 @@ Runner = Callable[[AnyConfig], ExperimentResult]
 ProgressCallback = Callable[[int, int, str, bool], None]
 
 #: Bump when the cached payload layout changes; old entries then miss.
-CACHE_SCHEMA_VERSION = 1
+#: v2: configs carry ``scenario_params`` (scenario registry).
+CACHE_SCHEMA_VERSION = 2
 
 _CONFIG_TYPES = {
     "ExperimentConfig": ExperimentConfig,
@@ -79,10 +80,17 @@ _CONFIG_TYPES = {
 # ----------------------------------------------------------------------
 # Config / result serialization and fingerprinting
 # ----------------------------------------------------------------------
+#: Config fields holding ``(name, value)`` pair tuples that JSON would
+#: flatten ambiguously; serialized as lists-of-lists and re-tupled on load.
+_PAIR_FIELDS = ("node_overrides", "scenario_params")
+
+
 def config_to_dict(config: AnyConfig) -> Dict[str, Any]:
     """A JSON-compatible, type-tagged dict of a config's fields."""
     data = {f.name: getattr(config, f.name) for f in fields(config)}
-    data["node_overrides"] = [list(pair) for pair in config.node_overrides]
+    for name in _PAIR_FIELDS:
+        if name in data:
+            data[name] = [list(pair) for pair in data[name]]
     return {"type": type(config).__name__, "fields": data}
 
 
@@ -99,9 +107,9 @@ def config_from_dict(payload: Dict[str, Any]) -> AnyConfig:
     """Inverse of :func:`config_to_dict`."""
     cls = _CONFIG_TYPES[payload["type"]]
     data = dict(payload["fields"])
-    data["node_overrides"] = tuple(
-        (name, _untuple(value)) for name, value in data["node_overrides"]
-    )
+    for name in _PAIR_FIELDS:
+        if name in data:
+            data[name] = tuple((key, _untuple(value)) for key, value in data[name])
     return cls(**data)
 
 

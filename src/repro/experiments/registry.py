@@ -1,17 +1,20 @@
 """Experiment registry: one entry per paper artifact (see DESIGN.md §4).
 
 Each entry maps an experiment id to a callable
-``run(quick: bool, engine: EngineOptions) -> str`` returning a rendered
-report.  ``quick=True`` runs a scaled-down version (fewer seeds / smaller
-sweeps) suitable for CI and the default benchmark invocation;
-``quick=False`` reproduces the paper's full protocol.  ``engine`` carries
-the execution knobs (worker count, cache directory, progress callback) for
-the grid-backed artifacts; artifacts that do not run the grid ignore it.
+``run(quick: bool, engine: EngineOptions, workload: WorkloadSelection) ->
+str`` returning a rendered report.  ``quick=True`` runs a scaled-down
+version (fewer seeds / smaller sweeps) suitable for CI and the default
+benchmark invocation; ``quick=False`` reproduces the paper's full
+protocol.  ``engine`` carries the execution knobs (worker count, cache
+directory, progress callback) and ``workload`` an optional scenario
+override (``--scenario``/``--scenario-param``) for the grid-backed
+artifacts; artifacts that do not run the grid ignore both.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.experiments.ablations import (
     ablate_busy_limit,
@@ -32,25 +35,57 @@ from repro.experiments.grid import GridSpec, run_grid
 from repro.experiments.parallel import EngineOptions, ProgressCallback
 from repro.experiments.table1 import run_table1
 
-__all__ = ["EXPERIMENTS", "run_registered", "experiment_ids"]
+__all__ = [
+    "EXPERIMENTS",
+    "GRID_BACKED",
+    "WorkloadSelection",
+    "run_registered",
+    "experiment_ids",
+]
 
 
-def _grid_spec(quick: bool) -> GridSpec:
+@dataclass(frozen=True)
+class WorkloadSelection:
+    """An optional scenario override for grid-backed artifacts.
+
+    ``scenario=None`` keeps each artifact's own workload (the paper's
+    protocol); a name (plus params) reruns the artifact's grid under that
+    registered scenario instead — e.g. Table III under Poisson arrivals.
+    """
+
+    scenario: Optional[str] = None
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def apply(self, spec: GridSpec) -> GridSpec:
+        if self.scenario is None:
+            return spec
+        from dataclasses import replace
+
+        return replace(spec, scenario=self.scenario, scenario_params=self.params)
+
+
+#: No override: every artifact runs its published workload.
+DEFAULT_WORKLOAD = WorkloadSelection()
+
+
+def _grid_spec(quick: bool, workload: WorkloadSelection) -> GridSpec:
     if quick:
-        return GridSpec(
+        spec = GridSpec(
             cores=(10, 20),
             intensities=(30, 60),
             strategies=("baseline", "FIFO", "SEPT", "EECT", "RECT", "FC"),
             seeds=(1,),
         )
-    return GridSpec()
+    else:
+        spec = GridSpec()
+    return workload.apply(spec)
 
 
-def _table1(quick: bool, engine: EngineOptions) -> str:
+def _table1(quick: bool, engine: EngineOptions, workload: WorkloadSelection) -> str:
     return run_table1(calls_per_function=20 if quick else 50).render()
 
 
-def _fig2(quick: bool, engine: EngineOptions) -> str:
+def _fig2(quick: bool, engine: EngineOptions, workload: WorkloadSelection) -> str:
     if quick:
         return run_fig2(
             memories_mb=(4096, 16384, 32768, 131072), intensities=(30, 120)
@@ -58,42 +93,48 @@ def _fig2(quick: bool, engine: EngineOptions) -> str:
     return run_fig2().render()
 
 
-def _fig3(quick: bool, engine: EngineOptions) -> str:
-    return fig3_from_grid(run_grid(_grid_spec(quick), **engine.run_kwargs())).render()
+def _fig3(quick: bool, engine: EngineOptions, workload: WorkloadSelection) -> str:
+    return fig3_from_grid(
+        run_grid(_grid_spec(quick, workload), **engine.run_kwargs())
+    ).render()
 
 
-def _fig4(quick: bool, engine: EngineOptions) -> str:
-    return fig4_from_grid(run_grid(_grid_spec(quick), **engine.run_kwargs())).render()
+def _fig4(quick: bool, engine: EngineOptions, workload: WorkloadSelection) -> str:
+    return fig4_from_grid(
+        run_grid(_grid_spec(quick, workload), **engine.run_kwargs())
+    ).render()
 
 
-def _table2(quick: bool, engine: EngineOptions) -> str:
-    spec = _grid_spec(quick)
+def _table2(quick: bool, engine: EngineOptions, workload: WorkloadSelection) -> str:
     if quick:
-        spec = GridSpec(
+        spec = workload.apply(GridSpec(
             cores=(5, 20), intensities=(30, 120),
             strategies=("baseline", "FIFO"), seeds=(1, 2),
-        )
+        ))
+    else:
+        spec = _grid_spec(quick, workload)
     return table2_from_grid(run_grid(spec, **engine.run_kwargs())).render()
 
 
-def _table3(quick: bool, engine: EngineOptions) -> str:
-    grid = run_grid(_grid_spec(quick), **engine.run_kwargs())
+def _table3(quick: bool, engine: EngineOptions, workload: WorkloadSelection) -> str:
+    grid = run_grid(_grid_spec(quick, workload), **engine.run_kwargs())
     result = table3_from_grid(grid)
     return result.render() + "\n\n" + result.render_comparison()
 
 
-def _table4(quick: bool, engine: EngineOptions) -> str:
-    spec = _grid_spec(quick)
+def _table4(quick: bool, engine: EngineOptions, workload: WorkloadSelection) -> str:
     if quick:
-        spec = GridSpec(cores=(10,), intensities=(30,), seeds=(1, 2, 3))
+        spec = workload.apply(GridSpec(cores=(10,), intensities=(30,), seeds=(1, 2, 3)))
+    else:
+        spec = _grid_spec(quick, workload)
     return table3_from_grid(run_grid(spec, **engine.run_kwargs()), per_seed=True).render()
 
 
-def _fig5(quick: bool, engine: EngineOptions) -> str:
+def _fig5(quick: bool, engine: EngineOptions, workload: WorkloadSelection) -> str:
     return run_fig5(seeds=(1,) if quick else (1, 2, 3, 4, 5)).render()
 
 
-def _fig6(quick: bool, engine: EngineOptions) -> str:
+def _fig6(quick: bool, engine: EngineOptions, workload: WorkloadSelection) -> str:
     seeds = (1,) if quick else (1, 2, 3, 4, 5)
     reports = [run_fig6(cores_per_node=18, seeds=seeds).render()]
     if not quick:
@@ -101,7 +142,7 @@ def _fig6(quick: bool, engine: EngineOptions) -> str:
     return "\n\n".join(reports)
 
 
-def _ablations(quick: bool, engine: EngineOptions) -> str:
+def _ablations(quick: bool, engine: EngineOptions, workload: WorkloadSelection) -> str:
     reports = [
         ablate_estimator_window().render(),
         ablate_busy_limit().render(),
@@ -113,7 +154,7 @@ def _ablations(quick: bool, engine: EngineOptions) -> str:
 
 
 #: Experiment id -> (description, runner).
-EXPERIMENTS: Dict[str, tuple[str, Callable[[bool, EngineOptions], str]]] = {
+EXPERIMENTS: Dict[str, tuple[str, Callable[[bool, EngineOptions, WorkloadSelection], str]]] = {
     "table1": ("Table I — idle-system SeBS function benchmark", _table1),
     "fig2": ("Fig. 2 — cold starts vs. memory and intensity", _fig2),
     "fig3": ("Fig. 3 — response-time boxes over the grid", _fig3),
@@ -127,6 +168,14 @@ EXPERIMENTS: Dict[str, tuple[str, Callable[[bool, EngineOptions], str]]] = {
 }
 
 
+#: Artifacts whose runners slice the experiment grid and therefore honor a
+#: ``--scenario`` workload override; the rest run fixed protocols
+#: (table1's idle benchmark, fig2's memory sweep, fig5/fig6's dedicated
+#: workloads, the ablations) and must reject an override rather than
+#: silently ignoring it.
+GRID_BACKED = frozenset({"fig3", "fig4", "table2", "table3", "table4"})
+
+
 def experiment_ids() -> List[str]:
     return list(EXPERIMENTS)
 
@@ -138,12 +187,17 @@ def run_registered(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     progress: Optional[ProgressCallback] = None,
+    scenario: Optional[str] = None,
+    scenario_params: Union[Mapping[str, Any], Tuple[Tuple[str, Any], ...]] = (),
 ) -> str:
     """Run a registered experiment and return its rendered report.
 
     ``jobs``, ``cache_dir`` and ``progress`` configure the parallel
     execution engine for the grid-backed artifacts (fig3/fig4 and
-    tables 2–4); the remaining artifacts run as before.
+    tables 2–4).  ``scenario``/``scenario_params`` override those
+    artifacts' workload with any registered scenario (see
+    ``faas-sched scenarios``); ``None`` keeps the paper's protocol.  The
+    remaining artifacts ignore both sets of knobs.
     """
     try:
         _, runner = EXPERIMENTS[experiment_id]
@@ -151,5 +205,23 @@ def run_registered(
         raise KeyError(
             f"unknown experiment {experiment_id!r}; available: {', '.join(EXPERIMENTS)}"
         ) from None
+    if scenario is None and scenario_params:
+        raise ValueError(
+            "scenario_params were given without a scenario; silently "
+            "dropping them would run the wrong workload"
+        )
+    if scenario is not None and experiment_id not in GRID_BACKED:
+        raise ValueError(
+            f"artifact {experiment_id!r} runs a fixed workload and does not "
+            f"honor a scenario override; grid-backed artifacts: "
+            f"{', '.join(sorted(GRID_BACKED))}"
+        )
     engine = EngineOptions(jobs=jobs, cache_dir=cache_dir, progress=progress)
-    return runner(quick, engine)
+    # A mapping is the natural programmatic spelling (ExperimentConfig
+    # accepts it too); tuple() on a dict would keep only the keys.
+    if isinstance(scenario_params, Mapping):
+        params = tuple(scenario_params.items())
+    else:
+        params = tuple(scenario_params)
+    workload = WorkloadSelection(scenario=scenario, params=params)
+    return runner(quick, engine, workload)

@@ -17,12 +17,8 @@ from repro.sim.core import Environment
 from repro.sim.rng import RngRegistry
 from repro.workload.functions import sebs_catalog
 from repro.workload.generator import BurstScenario
-from repro.workload.scenarios import (
-    azure_like_burst,
-    multi_node_burst,
-    skewed_burst,
-    uniform_burst,
-)
+from repro.workload.registry import build_scenario
+from repro.workload.scenarios import multi_node_burst
 
 __all__ = [
     "ExperimentResult",
@@ -94,14 +90,21 @@ def _build_invoker(
 
 
 def _build_scenario(config: ExperimentConfig, rngs: RngRegistry) -> BurstScenario:
-    rng = rngs.get("scenario")
-    if config.scenario == "uniform":
-        return uniform_burst(config.cores, config.intensity, rng, window=config.window_s)
-    if config.scenario == "skewed":
-        return skewed_burst(config.cores, config.intensity, rng, window=config.window_s)
-    if config.scenario == "azure":
-        return azure_like_burst(config.cores, config.intensity, rng, window=config.window_s)
-    raise ValueError(f"unknown scenario {config.scenario!r}")
+    """Build the config's workload through the scenario registry.
+
+    Any scenario registered via
+    :func:`repro.workload.registry.register_scenario` is runnable here —
+    and therefore through the grid, the parallel engine, the cache, and
+    the CLI — without touching this module.
+    """
+    return build_scenario(
+        config.scenario,
+        config.cores,
+        config.intensity,
+        rngs.get("scenario"),
+        window=config.window_s,
+        params=config.scenario_kwargs(),
+    )
 
 
 def run_experiment(config: ExperimentConfig) -> ExperimentResult:
@@ -115,6 +118,16 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         invoker.warm_up(catalog)
 
     scenario = _build_scenario(config, rngs)
+    if len(scenario) == 0:
+        # Stochastic scenarios (poisson/diurnal/trace with tiny rates, or a
+        # replay of an all-zero trace) can legitimately draw zero arrivals;
+        # fail here with the offending config rather than deep inside the
+        # metrics aggregation.
+        raise ValueError(
+            f"scenario {config.scenario!r} produced no requests for "
+            f"{config.label()} (params {dict(config.scenario_params)}); "
+            f"increase the rate/counts or the window"
+        )
     platform = FaaSPlatform(env, [invoker])
     records = platform.run_scenario(scenario)
     return ExperimentResult(config=config, records=records, node_stats=[_node_stats(invoker)])

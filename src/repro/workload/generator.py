@@ -9,13 +9,21 @@ no further requests arrive and the system drains.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.workload.functions import FunctionSpec, sebs_catalog
 
-__all__ = ["Request", "BurstScenario", "requests_for_intensity", "BURST_WINDOW_S"]
+__all__ = [
+    "Request",
+    "BurstScenario",
+    "requests_for_intensity",
+    "poisson_arrivals",
+    "draw_requests",
+    "zipf_weights",
+    "BURST_WINDOW_S",
+]
 
 #: Length of the request burst (seconds), per the paper.
 BURST_WINDOW_S = 60.0
@@ -38,6 +46,71 @@ def requests_for_intensity(cores: int, intensity: int, n_functions: int = 11) ->
         # there; accept any parameters but keep the count integral.
         rounded = int(np.ceil(total))
     return int(rounded)
+
+
+def zipf_weights(n: int, exponent: float) -> np.ndarray:
+    """Normalised Zipf probabilities ``rank^-exponent`` over ranks 1..n.
+
+    ``exponent=0`` degenerates to the uniform distribution.  Shared by the
+    Azure-like, synthetic-trace, and multi-tenant scenario builders.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n!r}")
+    if exponent < 0:
+        raise ValueError(f"exponent must be non-negative, got {exponent!r}")
+    ranks = np.arange(1, n + 1, dtype=float)
+    weights = ranks ** (-exponent) if exponent > 0 else np.ones_like(ranks)
+    return weights / weights.sum()
+
+
+def poisson_arrivals(
+    rate_fn: Callable[[float], float],
+    max_rate: float,
+    duration_s: float,
+    rng: np.random.Generator,
+) -> List[float]:
+    """Arrival times (seconds) of a non-homogeneous Poisson process.
+
+    Uses Lewis–Shedler thinning: propose arrivals at the constant
+    ``max_rate`` (requests/second), accept each proposal at time ``t`` with
+    probability ``rate_fn(t) / max_rate``.  ``rate_fn`` must never exceed
+    ``max_rate`` on ``[0, duration_s)``; a homogeneous process is the
+    special case ``rate_fn = lambda t: max_rate`` (every proposal accepted).
+
+    Returns strictly increasing times in ``[0, duration_s)``; empty when
+    ``max_rate <= 0``.
+    """
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be positive, got {duration_s!r}")
+    if max_rate <= 0:
+        return []
+    arrivals: List[float] = []
+    t = 0.0
+    while True:
+        t += float(rng.exponential(1.0 / max_rate))
+        if t >= duration_s:
+            return arrivals
+        if rng.random() <= rate_fn(t) / max_rate:
+            arrivals.append(t)
+
+
+def draw_requests(
+    arrivals: Sequence[float],
+    ordered: Sequence["FunctionSpec"],
+    weights: np.ndarray,
+    rng: np.random.Generator,
+) -> List["Request"]:
+    """Turn arrival times into :class:`Request`\\ s: one vectorized
+    function draw over *weights* for all arrivals, then a service-time
+    sample per request.  Shared tail of the arrival-process scenario
+    builders (poisson/diurnal/trace)."""
+    draws = rng.choice(len(ordered), size=len(arrivals), p=weights)
+    requests: List[Request] = []
+    for rid, t in enumerate(arrivals):
+        spec = ordered[int(draws[rid])]
+        service = float(spec.service_distribution.sample(rng))
+        requests.append(Request(rid, spec, float(t), service))
+    return requests
 
 
 @dataclass(frozen=True)

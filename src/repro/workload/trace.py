@@ -11,17 +11,27 @@ workloads that exercise the same code paths:
   peak-to-baseline ratio);
 * a Zipf-like function-popularity mix (short functions most popular,
   mirroring the trace's mass of short, frequent invocations).
+
+For replaying *actual* Azure-shaped CSV trace files, see
+:mod:`repro.workload.replay`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.workload.functions import FunctionSpec, sebs_catalog
-from repro.workload.generator import BurstScenario, Request
+from repro.workload.generator import (
+    BurstScenario,
+    draw_requests,
+    poisson_arrivals,
+    requests_for_intensity,
+    zipf_weights,
+)
+from repro.workload.registry import ScenarioParam, register_scenario
 
 __all__ = ["TraceProfile", "trace_scenario"]
 
@@ -33,15 +43,15 @@ class TraceProfile:
     Attributes
     ----------
     duration_s:
-        Total trace length.
+        Total trace length (seconds).
     base_rate:
         Steady-state arrival rate (requests/second).
     peak_rate:
-        Arrival rate inside the peak window.
+        Arrival rate inside the peak window (requests/second).
     peak_start_s / peak_duration_s:
-        Where the peak sits.
+        Where the peak sits (seconds).
     zipf_exponent:
-        Popularity skew across the catalog (0 = uniform).
+        Popularity skew across the catalog (dimensionless; 0 = uniform).
     """
 
     duration_s: float = 300.0
@@ -64,7 +74,7 @@ class TraceProfile:
             raise ValueError("zipf_exponent must be non-negative")
 
     def rate_at(self, t: float) -> float:
-        """Instantaneous arrival rate at time *t*."""
+        """Instantaneous arrival rate (requests/second) at time *t*."""
         if self.peak_start_s <= t < self.peak_start_s + self.peak_duration_s:
             return self.peak_rate
         return self.base_rate
@@ -83,33 +93,62 @@ def trace_scenario(
     """Generate a trace-shaped scenario via a thinned Poisson process.
 
     Arrivals follow a non-homogeneous Poisson process with the profile's
-    rate function; each arrival's function is drawn from a Zipf-like mix
-    over the catalog ordered by shortness (short = popular).
+    rate function (:func:`~repro.workload.generator.poisson_arrivals`);
+    each arrival's function is drawn from a Zipf-like mix over the catalog
+    ordered by shortness (short = popular).
     """
     catalog = list(catalog) if catalog is not None else sebs_catalog()
     ordered = sorted(catalog, key=lambda spec: spec.p50)
-    ranks = np.arange(1, len(ordered) + 1, dtype=float)
-    if profile.zipf_exponent > 0:
-        weights = ranks ** (-profile.zipf_exponent)
-    else:
-        weights = np.ones_like(ranks)
-    weights /= weights.sum()
+    weights = zipf_weights(len(ordered), profile.zipf_exponent)
 
-    # Thinning: propose at max_rate, accept with rate(t)/max_rate.
-    requests: List[Request] = []
-    rid = 0
-    t = 0.0
-    max_rate = profile.max_rate
-    if max_rate <= 0:
-        return BurstScenario(requests=[], window=profile.duration_s, label=label)
-    while True:
-        t += float(rng.exponential(1.0 / max_rate))
-        if t >= profile.duration_s:
-            break
-        if rng.random() > profile.rate_at(t) / max_rate:
-            continue
-        spec = ordered[int(rng.choice(len(ordered), p=weights))]
-        service = float(spec.service_distribution.sample(rng))
-        requests.append(Request(rid, spec, t, service))
-        rid += 1
+    arrivals = poisson_arrivals(
+        profile.rate_at, profile.max_rate, profile.duration_s, rng
+    )
+    requests = draw_requests(arrivals, ordered, weights, rng)
     return BurstScenario(requests=requests, window=profile.duration_s, label=label)
+
+
+@register_scenario(
+    "trace",
+    description="Synthetic Azure-shaped trace: baseline rate plus a peak, Zipf mix",
+    paper_section="extension",
+    params=(
+        ScenarioParam(
+            "duration_s", None,
+            "trace length in seconds; default: the experiment window",
+        ),
+        ScenarioParam(
+            "base_rate", None,
+            "steady-state rate in requests/second; default "
+            "1.1 * cores * intensity / duration_s",
+        ),
+        ScenarioParam(
+            "peak_ratio", 10.0,
+            "peak rate as a multiple of base_rate (dimensionless)",
+        ),
+        ScenarioParam("peak_start", 0.4, "peak start as a fraction of the duration"),
+        ScenarioParam("peak_fraction", 0.2, "peak length as a fraction of the duration"),
+        ScenarioParam("zipf_exponent", 1.1, "popularity skew (dimensionless; 0 = uniform)"),
+    ),
+)
+def _trace(
+    cores, intensity, rng, *, window, catalog,
+    duration_s, base_rate, peak_ratio, peak_start, peak_fraction, zipf_exponent,
+):
+    """Registry adapter: scales the profile with the grid's load arithmetic
+    so ``--scenario trace`` composes with cores/intensity sweeps."""
+    n_functions = len(catalog) if catalog is not None else 11
+    duration = float(duration_s) if duration_s is not None else float(window)
+    if base_rate is None:
+        base_rate = requests_for_intensity(cores, intensity, n_functions) / duration
+    profile = TraceProfile(
+        duration_s=duration,
+        base_rate=float(base_rate),
+        peak_rate=float(base_rate) * float(peak_ratio),
+        peak_start_s=float(peak_start) * duration,
+        peak_duration_s=float(peak_fraction) * duration,
+        zipf_exponent=float(zipf_exponent),
+    )
+    return trace_scenario(
+        profile, rng, catalog=catalog, label=f"trace c={cores} v={intensity}"
+    )

@@ -78,3 +78,33 @@ class TestArtifacts:
         assert (4, 10, "FIFO") in fig3.boxes
         assert "Fig. 3" in fig3.render()
         assert "Fig. 4" in fig4.render()
+
+
+class TestScenarioTag:
+    """Every grid view must disclose a workload override in its title."""
+
+    def test_uniform_grid_views_untagged(self, tiny_grid):
+        for out in (
+            table2_from_grid(tiny_grid).render(),
+            table3_from_grid(tiny_grid).render(),
+            fig3_from_grid(tiny_grid).render(),
+        ):
+            assert "[scenario=" not in out
+
+    def test_overridden_grid_views_tagged_with_params(self):
+        from repro.experiments.grid import GridSpec, run_grid
+
+        spec = GridSpec(
+            cores=(4,), intensities=(10,), strategies=("baseline", "FIFO"),
+            seeds=(1,), scenario="poisson",
+            scenario_params=(("zipf_exponent", 1.1),),
+        )
+        grid = run_grid(spec)
+        for out in (
+            table2_from_grid(grid).render(),
+            table3_from_grid(grid).render(),
+            table3_from_grid(grid, per_seed=True).render(),
+            fig3_from_grid(grid).render(),
+            fig4_from_grid(grid).render(),
+        ):
+            assert "[scenario=poisson zipf_exponent=1.1]" in out

@@ -27,9 +27,85 @@ class TestExperimentConfig:
         with pytest.raises(ValueError):
             ExperimentConfig(cores=10, intensity=30, scenario="chaos")
 
+    def test_unknown_scenario_error_lists_available(self):
+        with pytest.raises(ValueError, match="uniform"):
+            ExperimentConfig(cores=10, intensity=30, scenario="chaos")
+
+    def test_registered_scenarios_accepted(self):
+        for name in ("poisson", "diurnal", "zipf-multitenant", "trace", "multi-node"):
+            assert ExperimentConfig(cores=10, intensity=30, scenario=name).scenario == name
+
+    def test_scenario_params_normalised_and_hashable(self):
+        from_dict = ExperimentConfig(
+            cores=10, intensity=30, scenario="skewed",
+            scenario_params={"rare_count": 5, "rare_function": "sleep"},
+        )
+        from_pairs = ExperimentConfig(
+            cores=10, intensity=30, scenario="skewed",
+            scenario_params=(("rare_function", "sleep"), ("rare_count", 5)),
+        )
+        assert from_dict == from_pairs  # one canonical (sorted) form
+        assert hash(from_dict) == hash(from_pairs)
+        assert from_dict.scenario_kwargs() == {"rare_count": 5, "rare_function": "sleep"}
+
+    def test_unknown_scenario_param_rejected(self):
+        with pytest.raises(ValueError, match="rare_function"):
+            ExperimentConfig(
+                cores=10, intensity=30, scenario="skewed",
+                scenario_params={"rare_functio": "sleep"},
+            )
+
+    def test_missing_required_scenario_param_rejected(self):
+        with pytest.raises(ValueError, match="path"):
+            ExperimentConfig(cores=10, intensity=30, scenario="replay")
+
+    def test_list_valued_param_frozen_to_tuple(self):
+        cfg = ExperimentConfig(
+            cores=10, intensity=30, scenario="poisson",
+            scenario_params={"rate": [1, 2]},  # freeze() makes it hashable
+        )
+        assert cfg.scenario_kwargs()["rate"] == (1, 2)
+
+    def test_declared_defaults_baked_into_params(self):
+        # Relying on a default and spelling it out are the same experiment,
+        # so they must be the same config (and cache fingerprint).
+        implicit = ExperimentConfig(cores=10, intensity=30, scenario="azure")
+        explicit = ExperimentConfig(
+            cores=10, intensity=30, scenario="azure",
+            scenario_params={"zipf_exponent": 1.1},
+        )
+        assert implicit == explicit
+        assert implicit.scenario_kwargs() == {"zipf_exponent": 1.1}
+
+    def test_duplicate_param_names_last_wins(self):
+        cfg = ExperimentConfig(
+            cores=10, intensity=30, scenario="poisson",
+            scenario_params=(("rate", 5), ("rate", 2)),  # repeated CLI flag
+        )
+        assert cfg.scenario_kwargs()["rate"] == 2
+
+    def test_duplicate_params_with_mixed_types_do_not_crash(self):
+        cfg = ExperimentConfig(
+            cores=10, intensity=30, scenario="poisson",
+            scenario_params=(("rate", 5), ("rate", "abc")),
+        )
+        assert cfg.scenario_kwargs()["rate"] == "abc"
+
+    def test_mapping_valued_param_rejected(self):
+        with pytest.raises(ValueError, match="unsupported value type"):
+            ExperimentConfig(
+                cores=10, intensity=30, scenario="poisson",
+                scenario_params={"rate": {"a": 1}},
+            )
+
     def test_label(self):
         cfg = ExperimentConfig(cores=10, intensity=30, policy="FC", seed=3)
         assert "FC" in cfg.label() and "seed=3" in cfg.label()
+        assert "scenario" not in cfg.label()  # uniform is the default
+
+    def test_label_names_non_default_scenario(self):
+        cfg = ExperimentConfig(cores=10, intensity=30, scenario="poisson")
+        assert "scenario=poisson" in cfg.label()
 
 
 class TestMultiNodeConfig:

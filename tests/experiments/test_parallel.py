@@ -70,6 +70,67 @@ class TestBitIdentity:
             assert_results_identical(s, p)
 
 
+class TestScenarioBitIdentity:
+    """Acceptance: every registered scenario runs through the engine with
+    serial and parallel results bit-identical, and caches correctly."""
+
+    @pytest.mark.parametrize(
+        "scenario", ["azure", "poisson", "diurnal", "zipf-multitenant", "trace", "multi-node"]
+    )
+    def test_serial_matches_parallel(self, scenario):
+        configs = [
+            ExperimentConfig(
+                cores=4, intensity=10, policy="SEPT", seed=seed, scenario=scenario
+            )
+            for seed in (1, 2)
+        ]
+        serial = run_configs(configs, jobs=1)
+        pooled = run_configs(configs, jobs=2)
+        for s, p in zip(serial, pooled):
+            assert_results_identical(s, p)
+
+    def test_replay_serial_matches_parallel_and_caches(self, tmp_path):
+        from repro.workload.replay import TraceRow, write_trace_csv
+
+        csv_path = write_trace_csv(
+            tmp_path / "trace.csv",
+            [TraceRow("a", "f1", 0, 15), TraceRow("b", "f2", 1, 10)],
+        )
+        configs = [
+            ExperimentConfig(
+                cores=4, intensity=10, policy="FIFO", seed=seed, scenario="replay",
+                scenario_params={"path": str(csv_path), "minute_s": 10.0},
+            )
+            for seed in (1, 2)
+        ]
+        serial = run_configs(configs, jobs=1)
+        pooled = run_configs(configs, jobs=2, cache_dir=tmp_path / "cache")
+        for s, p in zip(serial, pooled):
+            assert_results_identical(s, p)
+        stats = EngineStats()
+        cached = run_configs(
+            configs, jobs=1, cache_dir=tmp_path / "cache", stats=stats
+        )
+        assert stats.cached == 2
+        for s, c in zip(serial, cached):
+            assert_results_identical(s, c)
+
+    def test_grid_under_non_default_scenario(self, tmp_path):
+        spec = GridSpec(
+            cores=(4,), intensities=(10,), strategies=("FIFO",), seeds=(1,),
+            scenario="poisson", scenario_params=(("zipf_exponent", 1.1),),
+        )
+        serial = run_grid(spec, jobs=1)
+        pooled = run_grid(spec, jobs=2, cache_dir=tmp_path)
+        for key in serial.cells:
+            for s, p in zip(serial.cells[key], pooled.cells[key]):
+                assert_results_identical(s, p)
+        config = pooled.cells[(4, 10, "FIFO")][0].config
+        assert config.scenario == "poisson"
+        # Declared defaults (rate=None) are merged in at construction.
+        assert config.scenario_kwargs() == {"rate": None, "zipf_exponent": 1.1}
+
+
 class TestFingerprint:
     def test_stable_within_version(self):
         cfg = ExperimentConfig(cores=4, intensity=10)
@@ -102,9 +163,27 @@ class TestFingerprint:
         monkeypatch.setattr(repro, "__version__", "0.0.0-test")
         assert config_fingerprint(cfg) != before
 
+    def test_sensitive_to_scenario_params_only(self):
+        base = ExperimentConfig(cores=4, intensity=10, scenario="azure")
+        tweaked = base.with_(scenario_params=(("zipf_exponent", 1.5),))
+        assert base.cores == tweaked.cores and base.seed == tweaked.seed
+        assert config_fingerprint(base) != config_fingerprint(tweaked)
+
+    def test_scenario_param_value_change_diverges(self):
+        a = ExperimentConfig(
+            cores=4, intensity=10, scenario="skewed",
+            scenario_params={"rare_count": 5},
+        )
+        b = a.with_(scenario_params=(("rare_count", 6),))
+        assert config_fingerprint(a) != config_fingerprint(b)
+
     def test_config_dict_round_trip(self):
         for cfg in (
             ExperimentConfig(cores=4, intensity=10, node_overrides=(("busy_limit", 3),)),
+            ExperimentConfig(
+                cores=4, intensity=10, scenario="skewed",
+                scenario_params={"rare_function": "sleep", "rare_count": 2},
+            ),
             MultiNodeConfig(nodes=2, cores_per_node=4, total_requests=10),
         ):
             assert config_from_dict(json.loads(json.dumps(config_to_dict(cfg)))) == cfg

@@ -51,3 +51,162 @@ class TestCli:
     def test_parser_rejects_bad_experiment(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "fig99"])
+
+    def test_parser_rejects_bad_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--scenario", "chaos"])
+
+
+class TestScenarioCli:
+    def test_scenarios_subcommand_lists_all_registered(self, capsys):
+        from repro.workload.registry import scenario_names
+
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert len(scenario_names()) >= 8
+        for name in scenario_names():
+            assert name in out
+        assert "--scenario-param" in out  # parameters are documented
+
+    def test_simulate_with_registered_scenario(self, capsys):
+        code = main([
+            "simulate", "--cores", "4", "--intensity", "10",
+            "--scenario", "poisson", "--scenario-param", "zipf_exponent=1.1",
+        ])
+        assert code == 0
+        assert "scenario=poisson" in capsys.readouterr().out
+
+    def test_simulate_replay_scenario(self, capsys, tmp_path):
+        from repro.workload.replay import TraceRow, write_trace_csv
+
+        csv_path = write_trace_csv(
+            tmp_path / "t.csv", [TraceRow("a", "f", 0, 20)]
+        )
+        code = main([
+            "simulate", "--cores", "4", "--intensity", "10",
+            "--scenario", "replay",
+            "--scenario-param", f"path={csv_path}",
+            "--scenario-param", "minute_s=10",
+        ])
+        assert code == 0
+        assert "scenario=replay" in capsys.readouterr().out
+
+    def test_grid_with_scenario(self, capsys):
+        code = main([
+            "grid", "--cores", "4", "--intensities", "10",
+            "--strategies", "FIFO", "--seeds", "1",
+            "--scenario", "diurnal", "--scenario-param", "amplitude=0.5",
+            "--no-progress",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine: 1 runs" in out
+
+    def test_run_artifact_under_scenario_override(self, capsys):
+        code = main([
+            "run", "table4", "--scenario", "poisson", "--no-progress",
+        ])
+        assert code == 0
+        assert "scenario=poisson" in capsys.readouterr().out
+
+    def test_bad_scenario_param_format_exits(self):
+        with pytest.raises(SystemExit):
+            main([
+                "simulate", "--cores", "4", "--intensity", "10",
+                "--scenario", "poisson", "--scenario-param", "zipf_exponent",
+            ])
+
+    def test_unknown_scenario_param_clean_error(self, capsys):
+        assert main([
+            "simulate", "--cores", "4", "--intensity", "10",
+            "--scenario", "skewed", "--scenario-param", "rare_cont=5",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "rare_cont" in err and "rare_count" in err
+
+    def test_scenario_param_without_scenario_on_run_rejected(self, capsys):
+        # 'run' defaults --scenario to None; dropping the params silently
+        # would run the wrong workload without any hint.
+        assert main(["run", "table1", "--scenario-param", "zipf_exponent=1.5"]) == 2
+        assert "--scenario" in capsys.readouterr().err
+
+    def test_scenario_override_rejected_for_fixed_workload_artifact(self, capsys):
+        # fig5 runs its own skewed workload; silently ignoring --scenario
+        # would present the wrong experiment as if the override applied.
+        assert main(["run", "fig5", "--scenario", "poisson"]) == 2
+        assert "fixed workload" in capsys.readouterr().err
+
+    def test_run_registered_rejects_override_for_fixed_workload_artifact(self):
+        with pytest.raises(ValueError, match="fixed workload"):
+            run_registered("table1", scenario="poisson")
+
+    def test_grid_empty_scenario_clean_error(self, capsys):
+        assert main([
+            "grid", "--cores", "4", "--intensities", "10",
+            "--strategies", "FIFO", "--seeds", "1",
+            "--scenario", "poisson", "--scenario-param", "rate=0",
+            "--no-progress",
+        ]) == 2
+        assert "no requests" in capsys.readouterr().err
+
+    def test_grid_empty_scenario_clean_error_with_jobs(self, capsys):
+        # With --jobs > 1 the failure arrives as WorkerError; the CLI must
+        # still print a clean error, not a traceback.
+        assert main([
+            "grid", "--cores", "4", "--intensities", "10",
+            "--strategies", "FIFO", "--seeds", "1", "2", "--jobs", "2",
+            "--scenario", "poisson", "--scenario-param", "rate=0",
+            "--no-progress",
+        ]) == 2
+        assert "no requests" in capsys.readouterr().err
+
+    def test_simulate_dict_valued_param_clean_error(self, capsys):
+        assert main([
+            "simulate", "--cores", "4", "--intensity", "10",
+            "--scenario", "poisson", "--scenario-param", 'rate={"a":1}',
+        ]) == 2
+        assert "unsupported value type" in capsys.readouterr().err
+
+    def test_run_registered_params_without_scenario_rejected(self):
+        with pytest.raises(ValueError, match="without a scenario"):
+            run_registered("table3", scenario_params=(("zipf_exponent", 1.5),))
+
+    def test_simulate_missing_replay_file_clean_error(self, capsys, tmp_path):
+        assert main([
+            "simulate", "--cores", "4", "--intensity", "10",
+            "--scenario", "replay",
+            "--scenario-param", f"path={tmp_path / 'absent.csv'}",
+        ]) == 2
+        assert "absent.csv" in capsys.readouterr().err
+
+    def test_simulate_empty_scenario_clean_error(self, capsys):
+        assert main([
+            "simulate", "--cores", "4", "--intensity", "10",
+            "--scenario", "poisson", "--scenario-param", "rate=0",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "no requests" in err and "poisson" in err
+
+    def test_python_style_boolean_literals_parse_typed(self):
+        from repro.cli import _parse_scenario_params
+
+        assert _parse_scenario_params(["a=False", "b=True", "c=None"]) == (
+            ("a", False), ("b", True), ("c", None),
+        )
+        assert _parse_scenario_params(["a=false", "b=1.5", "c=text"]) == (
+            ("a", False), ("b", 1.5), ("c", "text"),
+        )
+
+    def test_run_registered_scenario_override(self):
+        report = run_registered(
+            "table4", quick=True, scenario="poisson",
+            scenario_params=(("zipf_exponent", 0.5),),
+        )
+        assert "scenario=poisson" in report
+
+    def test_run_registered_accepts_mapping_params(self):
+        report = run_registered(
+            "table4", quick=True, scenario="poisson",
+            scenario_params={"zipf_exponent": 0.5},
+        )
+        assert "scenario=poisson zipf_exponent=0.5" in report

@@ -1,0 +1,151 @@
+"""Tests for CSV trace replay."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.workload.functions import sebs_catalog
+from repro.workload.replay import (
+    TraceRow,
+    iter_trace_rows,
+    replay_scenario,
+    write_trace_csv,
+)
+
+ROWS = [
+    TraceRow("app1", "f1", 0, 12),
+    TraceRow("app1", "f2", 0, 3),
+    TraceRow("app2", "f1", 1, 7),
+    TraceRow("app2", "f1", 2, 5),
+]
+
+
+class TestTraceRow:
+    def test_key(self):
+        assert TraceRow("a", "b", 0, 1).key == "a/b"
+
+    def test_negative_minute_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRow("a", "b", -1, 1)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRow("a", "b", 0, -1)
+
+
+class TestIterTraceRows:
+    def test_csv_round_trip(self, tmp_path):
+        path = write_trace_csv(tmp_path / "trace.csv", ROWS)
+        assert list(iter_trace_rows(path)) == ROWS
+
+    def test_header_blank_lines_and_comments_skipped(self):
+        text = "app,func,minute,count\n\n# comment\na,b,0,4\n"
+        rows = list(iter_trace_rows(io.StringIO(text)))
+        assert rows == [TraceRow("a", "b", 0, 4)]
+
+    def test_header_after_leading_comments_skipped(self):
+        text = "# generated trace\n\napp,func,minute,count\na,b,0,4\n"
+        rows = list(iter_trace_rows(io.StringIO(text)))
+        assert rows == [TraceRow("a", "b", 0, 4)]
+
+    def test_header_like_row_after_data_is_an_error(self):
+        # Only a leading header is skipped; mid-file it is a malformed row.
+        text = "a,b,0,4\napp,func,minute,count\n"
+        with pytest.raises(ValueError, match="line 2"):
+            list(iter_trace_rows(io.StringIO(text)))
+
+    def test_headerless_file_accepted(self):
+        rows = list(iter_trace_rows(io.StringIO("a,b,0,4\nc,d,1,2\n")))
+        assert len(rows) == 2
+
+    def test_malformed_row_names_line(self):
+        with pytest.raises(ValueError, match="line 2"):
+            list(iter_trace_rows(io.StringIO("a,b,0,4\na,b,oops,4\n")))
+
+    def test_wrong_column_count_rejected(self):
+        with pytest.raises(ValueError, match="columns"):
+            list(iter_trace_rows(io.StringIO("a,b,0\n")))
+
+    def test_iterable_of_rows_passthrough(self):
+        assert list(iter_trace_rows(iter(ROWS))) == ROWS
+
+
+class TestReplayScenario:
+    def test_total_request_count_matches_trace(self):
+        scenario = replay_scenario(ROWS, np.random.default_rng(0))
+        assert len(scenario) == sum(r.count for r in ROWS)
+
+    def test_arrivals_fall_inside_their_minute(self):
+        scenario = replay_scenario(ROWS, np.random.default_rng(0), minute_s=60.0)
+        by_key = {}
+        for req in scenario:
+            by_key.setdefault(req.function.name.split("#")[0], []).append(req)
+        for row in ROWS:
+            lo, hi = row.minute * 60.0, (row.minute + 1) * 60.0
+            in_minute = [
+                r for r in by_key[row.key] if lo <= r.release_time < hi
+            ]
+            assert len(in_minute) == row.count
+
+    def test_deterministic_under_fixed_seed(self):
+        a = replay_scenario(ROWS, np.random.default_rng(9))
+        b = replay_scenario(ROWS, np.random.default_rng(9))
+        assert [(r.rid, r.function.name, r.release_time, r.service_time) for r in a] \
+            == [(r.rid, r.function.name, r.release_time, r.service_time) for r in b]
+
+    def test_seed_changes_arrivals(self):
+        a = replay_scenario(ROWS, np.random.default_rng(1))
+        b = replay_scenario(ROWS, np.random.default_rng(2))
+        assert [r.release_time for r in a] != [r.release_time for r in b]
+
+    def test_function_mapping_stable_and_namespaced(self):
+        scenario = replay_scenario(ROWS, np.random.default_rng(0))
+        names = {r.function.name for r in scenario}
+        # app2/f1 appears in two rows → must map to ONE namespaced function.
+        assert len(names) == 3
+        assert all("#" in name for name in names)
+        catalog_names = {spec.name for spec in sebs_catalog()}
+        assert {name.split("#")[1] for name in names} <= catalog_names
+
+    def test_namespace_disabled_collapses_to_catalog(self):
+        scenario = replay_scenario(
+            ROWS, np.random.default_rng(0), namespace_functions=False
+        )
+        catalog_names = {spec.name for spec in sebs_catalog()}
+        assert {r.function.name for r in scenario} <= catalog_names
+
+    def test_minute_s_compresses_time(self):
+        scenario = replay_scenario(ROWS, np.random.default_rng(0), minute_s=1.0)
+        assert scenario.window == 3.0  # minutes 0..2
+        assert all(r.release_time < 3.0 for r in scenario)
+
+    def test_max_minutes_truncates(self):
+        scenario = replay_scenario(ROWS, np.random.default_rng(0), max_minutes=1)
+        assert len(scenario) == 15  # only minute-0 rows
+        assert scenario.window == 60.0
+
+    def test_zero_count_rows_and_empty_trace(self):
+        empty = replay_scenario([], np.random.default_rng(0))
+        assert len(empty) == 0
+        only_zero = replay_scenario(
+            [TraceRow("a", "b", 4, 0)], np.random.default_rng(0)
+        )
+        assert len(only_zero) == 0
+        assert only_zero.window == 300.0  # minutes 0..4 still span the window
+
+    def test_invalid_minute_s_rejected(self):
+        with pytest.raises(ValueError):
+            replay_scenario(ROWS, np.random.default_rng(0), minute_s=0.0)
+
+    def test_runs_through_platform(self):
+        from repro.cluster.platform import FaaSPlatform
+        from repro.node.config import NodeConfig
+        from repro.node.invoker import Invoker
+        from repro.sim.core import Environment
+
+        env = Environment()
+        invoker = Invoker(env, NodeConfig(cores=4), policy="SEPT")
+        scenario = replay_scenario(ROWS, np.random.default_rng(3), minute_s=5.0)
+        records = FaaSPlatform(env, [invoker]).run_scenario(scenario)
+        assert len(records) == len(scenario)

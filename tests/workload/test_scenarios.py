@@ -4,11 +4,15 @@ import numpy as np
 import pytest
 
 from repro.workload.functions import sebs_catalog
+from repro.workload.generator import requests_for_intensity
 from repro.workload.scenarios import (
     azure_like_burst,
+    diurnal_burst,
     multi_node_burst,
+    poisson_burst,
     skewed_burst,
     uniform_burst,
+    zipf_multitenant_burst,
 )
 
 
@@ -28,6 +32,22 @@ class TestUniformBurst:
         rng = np.random.default_rng(0)
         scenario = uniform_burst(5, 30, rng, window=10.0)
         assert all(r.release_time < 10.0 for r in scenario)
+
+    def test_non_integral_count_raises_actionable_error(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError) as excinfo:
+            uniform_burst(3, 5, rng)
+        message = str(excinfo.value)
+        # Names the offending pair, the bad value, and a valid alternative.
+        assert "3" in message and "5" in message
+        assert "1.5" in message
+        assert "multiple of 10" in message
+        assert "intensity=10" in message
+
+    def test_integral_count_still_accepted_off_paper_grid(self):
+        # 0.1 * 4 * 5 = 2 is integral even though 5 is not a paper intensity.
+        scenario = uniform_burst(4, 5, np.random.default_rng(0))
+        assert len(scenario) == 22
 
 
 class TestSkewedBurst:
@@ -87,3 +107,109 @@ class TestAzureLikeBurst:
         shortest = min(sebs_catalog(), key=lambda s: s.p50)
         longest = max(sebs_catalog(), key=lambda s: s.p50)
         assert scenario.count_for(shortest.name) > scenario.count_for(longest.name)
+
+
+class TestPoissonBurst:
+    def test_count_near_paper_expectation(self):
+        expected = requests_for_intensity(10, 60)  # 660
+        scenario = poisson_burst(10, 60, np.random.default_rng(0))
+        assert expected * 0.85 < len(scenario) < expected * 1.15
+
+    def test_deterministic(self):
+        a = poisson_burst(4, 10, np.random.default_rng(5))
+        b = poisson_burst(4, 10, np.random.default_rng(5))
+        assert [r.release_time for r in a] == [r.release_time for r in b]
+
+    def test_explicit_rate(self):
+        scenario = poisson_burst(4, 10, np.random.default_rng(0), rate=10.0)
+        assert 60.0 * 10 * 0.7 < len(scenario) < 60.0 * 10 * 1.3
+
+    def test_zero_rate_empty(self):
+        assert len(poisson_burst(4, 10, np.random.default_rng(0), rate=0.0)) == 0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_burst(4, 10, np.random.default_rng(0), rate=-1.0)
+
+    def test_zipf_mix_skews_short(self):
+        scenario = poisson_burst(
+            10, 60, np.random.default_rng(1), zipf_exponent=1.5
+        )
+        shortest = min(sebs_catalog(), key=lambda s: s.p50)
+        longest = max(sebs_catalog(), key=lambda s: s.p50)
+        assert scenario.count_for(shortest.name) > scenario.count_for(longest.name)
+
+
+class TestDiurnalBurst:
+    def test_count_near_mean_rate(self):
+        # The sinusoid integrates to the mean over a whole period, so the
+        # expected total matches the uniform scenario's.
+        expected = requests_for_intensity(10, 60)
+        scenario = diurnal_burst(10, 60, np.random.default_rng(0))
+        assert expected * 0.8 < len(scenario) < expected * 1.2
+
+    def test_peak_half_denser_than_trough_half(self):
+        # phase=0: rate rises above mean on [0, T/2), falls below on [T/2, T).
+        scenario = diurnal_burst(
+            10, 120, np.random.default_rng(1), amplitude=1.0
+        )
+        first = sum(1 for r in scenario if r.release_time < 30.0)
+        second = len(scenario) - first
+        assert first > 1.5 * second
+
+    def test_amplitude_validated(self):
+        with pytest.raises(ValueError):
+            diurnal_burst(4, 10, np.random.default_rng(0), amplitude=1.5)
+
+    def test_period_validated(self):
+        with pytest.raises(ValueError):
+            diurnal_burst(4, 10, np.random.default_rng(0), period_s=0.0)
+
+    def test_deterministic(self):
+        a = diurnal_burst(4, 10, np.random.default_rng(2))
+        b = diurnal_burst(4, 10, np.random.default_rng(2))
+        assert [r.release_time for r in a] == [r.release_time for r in b]
+
+
+class TestZipfMultitenantBurst:
+    def test_total_matches_paper_arithmetic(self):
+        scenario = zipf_multitenant_burst(10, 30, np.random.default_rng(0))
+        assert len(scenario) == requests_for_intensity(10, 30)
+
+    def test_function_names_namespaced_per_tenant(self):
+        scenario = zipf_multitenant_burst(
+            10, 60, np.random.default_rng(0), tenants=3
+        )
+        names = {r.function.name for r in scenario}
+        assert all(name.startswith("tenant") and "/" in name for name in names)
+        tenants_seen = {name.split("/")[0] for name in names}
+        assert tenants_seen <= {"tenant0", "tenant1", "tenant2"}
+        assert len(names) <= 3 * len(sebs_catalog())
+
+    def test_first_tenant_most_popular(self):
+        scenario = zipf_multitenant_burst(
+            10, 120, np.random.default_rng(1), tenants=4, tenant_exponent=1.5
+        )
+        per_tenant = {}
+        for r in scenario:
+            tenant = r.function.name.split("/")[0]
+            per_tenant[tenant] = per_tenant.get(tenant, 0) + 1
+        assert per_tenant["tenant0"] == max(per_tenant.values())
+        assert per_tenant["tenant0"] > per_tenant.get("tenant3", 0)
+
+    def test_single_tenant_collapses_to_skewed_mix(self):
+        scenario = zipf_multitenant_burst(
+            4, 10, np.random.default_rng(0), tenants=1
+        )
+        assert {r.function.name.split("/")[0] for r in scenario} == {"tenant0"}
+
+    def test_tenants_validated(self):
+        with pytest.raises(ValueError):
+            zipf_multitenant_burst(4, 10, np.random.default_rng(0), tenants=0)
+
+    def test_shared_spec_instances_per_tenant_function(self):
+        scenario = zipf_multitenant_burst(4, 30, np.random.default_rng(0))
+        by_name = {}
+        for r in scenario:
+            by_name.setdefault(r.function.name, set()).add(id(r.function))
+        assert all(len(ids) == 1 for ids in by_name.values())

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Fail when docs/SCENARIOS.md is out of sync with the scenario registry.
+
+Checks, in both directions:
+
+* every scenario registered in ``repro.workload.registry`` has a
+  ``## `name` ...`` heading in docs/SCENARIOS.md;
+* every documented scenario heading names a registered scenario (no stale
+  catalog entries).
+
+Run from the repository root (CI's docs job does)::
+
+    python tools/check_scenarios_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS = REPO_ROOT / "docs" / "SCENARIOS.md"
+
+#: Catalog entries look like: ## `name` — description
+HEADING = re.compile(r"^##\s+`(?P<name>[^`]+)`", re.MULTILINE)
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.workload.registry import scenario_names
+
+    registered = set(scenario_names())
+    if not DOCS.exists():
+        print(f"error: {DOCS} does not exist", file=sys.stderr)
+        return 1
+    documented = set(HEADING.findall(DOCS.read_text(encoding="utf-8")))
+
+    undocumented = sorted(registered - documented)
+    stale = sorted(documented - registered)
+    if undocumented:
+        print(
+            "error: registered scenario(s) missing from docs/SCENARIOS.md: "
+            + ", ".join(undocumented),
+            file=sys.stderr,
+        )
+    if stale:
+        print(
+            "error: docs/SCENARIOS.md documents unregistered scenario(s): "
+            + ", ".join(stale),
+            file=sys.stderr,
+        )
+    if undocumented or stale:
+        return 1
+    print(f"docs/SCENARIOS.md covers all {len(registered)} registered scenarios")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
