@@ -53,6 +53,35 @@ def test_processor_sharing_rebalance(benchmark):
     assert delivered > 0
 
 
+def test_processor_sharing_oversubscription(benchmark):
+    """Sustained heavy oversubscription: hundreds of mixed-weight tasks
+    water-filling one bank with an efficiency penalty (the OpenWhisk
+    baseline regime, paper Sect. IV-A)."""
+
+    from repro.sim import linear_overhead_efficiency
+
+    def run_bank():
+        env = Environment()
+        cpu = SharedCPU(env, cores=8, efficiency=linear_overhead_efficiency(0.5))
+
+        def submit(env, start, work, weight):
+            yield env.timeout(start)
+            task = cpu.execute(work, weight=weight, max_rate=1.0)
+            yield task.event
+
+        rng = np.random.default_rng(2)
+        weights = (0.5, 1.0, 2.0)
+        for i, (start, work) in enumerate(
+            zip(rng.uniform(0, 5, 800), rng.uniform(0.5, 4.0, 800))
+        ):
+            env.process(submit(env, float(start), float(work), weights[i % 3]))
+        env.run()
+        return cpu.delivered_work
+
+    delivered = benchmark(run_bank)
+    assert delivered > 0
+
+
 def test_priority_queue_throughput(benchmark):
     """Push/pop cycles on the invoker's stable priority queue."""
     rng = np.random.default_rng(1)

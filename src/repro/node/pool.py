@@ -73,6 +73,11 @@ class ContainerPool:
         self.manage_pause = manage_pause
         #: All live containers (busy or warm), insertion order.
         self.containers: List[Container] = []
+        #: Live containers grouped by function name, each group in the
+        #: same relative (insertion) order as :attr:`containers` — the
+        #: placement scan for a call touches only its own function's
+        #: containers instead of the whole node.
+        self._by_function: dict = {}
         #: Unspecialised prewarm shells.
         self.prewarm_shells: List[Container] = []
         # -- statistics ---------------------------------------------------
@@ -112,19 +117,20 @@ class ContainerPool:
             container = Container(spec, spec.memory_mb, self.env.now)
             container.state = ContainerState.PAUSED
             self.containers.append(container)
+            self._index_add(container)
             created += 1
         return created
 
     # ------------------------------------------------------------------
     # Placement
     # ------------------------------------------------------------------
+    def _index_add(self, container: Container) -> None:
+        """Register a (specialised) container in the per-function index."""
+        self._by_function.setdefault(container.function.name, []).append(container)
+
     def warm_count(self, spec: "FunctionSpec") -> int:
         """Idle warm containers currently available for *spec*."""
-        return sum(
-            1
-            for c in self.containers
-            if c.is_warm and c.function is not None and c.function.name == spec.name
-        )
+        return sum(1 for c in self._by_function.get(spec.name, ()) if c.is_warm)
 
     def acquire(self, spec: "FunctionSpec", allow_prewarm: bool = True) -> Optional[AcquirePlan]:
         """Claim a container for a call of *spec*, or None if impossible.
@@ -134,11 +140,13 @@ class ContainerPool:
         is already marked busy and its memory reserved.
         """
         # 1) warm container for this function: prefer HOT (free reuse),
-        #    then the most-recently-used paused one.
+        #    then the most-recently-used paused one.  The per-function
+        #    index preserves insertion order, so ties on last_used resolve
+        #    exactly as the historical whole-node scan did.
         best_hot: Optional[Container] = None
         best_paused: Optional[Container] = None
-        for c in self.containers:
-            if not c.is_warm or c.function is None or c.function.name != spec.name:
+        for c in self._by_function.get(spec.name, ()):
+            if not c.is_warm:
                 continue
             if c.state is ContainerState.HOT:
                 if best_hot is None or c.last_used > best_hot.last_used:
@@ -170,6 +178,7 @@ class ContainerPool:
                 shell.busy = True
                 shell.last_used = self.env.now
                 self.containers.append(shell)
+                self._index_add(shell)
                 self.prewarm_starts += 1
                 return AcquirePlan("prewarm", shell)
 
@@ -179,6 +188,7 @@ class ContainerPool:
             container = Container(spec, spec.memory_mb, self.env.now)
             container.busy = True
             self.containers.append(container)
+            self._index_add(container)
             self.cold_starts += 1
             self.creations += 1
             return AcquirePlan("cold", container)
@@ -217,6 +227,7 @@ class ContainerPool:
         container.state = ContainerState.DEAD
         container.pause_version += 1
         self.containers.remove(container)
+        self._by_function[container.function.name].remove(container)
         self.memory.release(container.memory_mb)
         self.evictions += 1
         self.env.process(self.daemon.op("remove"))

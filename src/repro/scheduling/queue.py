@@ -51,5 +51,13 @@ class StablePriorityQueue(Generic[T]):
         return bool(self._heap)
 
     def __iter__(self) -> Iterator[T]:
-        """Items in priority order (non-destructive)."""
-        return (item for _, _, item in sorted(self._heap))
+        """Items in priority order (FIFO within equal priority),
+        non-destructive.
+
+        Pops a shallow copy of the heap lazily instead of materializing a
+        full sort, so taking the first ``k`` items costs O(n + k log n)
+        rather than O(n log n).
+        """
+        heap = self._heap.copy()
+        while heap:
+            yield heapq.heappop(heap)[2]

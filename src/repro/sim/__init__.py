@@ -20,7 +20,7 @@ must not depend on packages outside the allowed set.  It provides:
   streams for reproducible experiments.
 """
 
-from repro.sim.core import Environment, SimulationError, StopSimulation
+from repro.sim.core import Environment, ReusableTimer, SimulationError, StopSimulation
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Interrupt, Process
 from repro.sim.resources import (
@@ -33,6 +33,7 @@ from repro.sim.resources import (
 )
 from repro.sim.cpu import CpuTask, SharedCPU, linear_overhead_efficiency
 from repro.sim.rng import RngRegistry
+from repro.sim.waterfill import waterfill_rates
 
 __all__ = [
     "AllOf",
@@ -45,6 +46,7 @@ __all__ = [
     "PriorityStore",
     "Process",
     "Resource",
+    "ReusableTimer",
     "RngRegistry",
     "SharedCPU",
     "SimulationError",
@@ -54,4 +56,5 @@ __all__ = [
     "StorePutEvent",
     "Timeout",
     "linear_overhead_efficiency",
+    "waterfill_rates",
 ]

@@ -1,23 +1,51 @@
 """Event calendar and simulation clock.
 
-The :class:`Environment` owns a binary-heap calendar of ``(time, priority,
-sequence, event)`` entries.  Entries with equal time are popped in insertion
+The :class:`Environment` owns a binary-heap calendar of ``[time, priority,
+sequence, event]`` entries.  Entries with equal time are popped in insertion
 order (FIFO), which makes simulations fully deterministic for a fixed seed.
+
+Calendar entries are *cancellable*: :meth:`Environment.schedule` returns an
+opaque handle that :meth:`Environment.cancel_scheduled` turns into a lazy
+tombstone — the entry stays in the heap but is skipped (never processed)
+when it surfaces.  A live-entry counter drives loop termination, and the
+heap is compacted (tombstones filtered out, then re-heapified) once dead
+entries outnumber live ones, so a component that re-arms a timer on every
+state change cannot grow the calendar without bound.
+
+:class:`ReusableTimer` packages the common re-arming pattern: one
+heap-allocated object whose ``arm``/``cancel`` cycle replaces the historical
+"allocate a fresh Timeout and let the superseded one fire inertly" idiom
+(see :class:`repro.sim.cpu.SharedCPU`).
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heapify, heappop, heappush
 from itertools import count
-from typing import Any, Callable, Generator, Optional
+from typing import Any, Callable, Generator, List, Optional
 
-__all__ = ["Environment", "SimulationError", "StopSimulation", "NORMAL", "URGENT"]
+__all__ = [
+    "Environment",
+    "ReusableTimer",
+    "SimulationError",
+    "StopSimulation",
+    "NORMAL",
+    "URGENT",
+]
 
 #: Calendar priority for ordinary events.
 NORMAL = 1
 #: Calendar priority for events that must run before ordinary events
 #: scheduled at the same timestamp (e.g. process resumption).
 URGENT = 0
+
+#: A calendar entry: ``[time, priority, sequence, event_or_None]``.
+#: ``None`` in the last slot marks a cancelled (tombstoned) entry.
+Entry = List[Any]
+
+#: Compaction threshold: rebuild the heap once it holds more than this many
+#: tombstones *and* tombstones outnumber live entries.
+_MIN_COMPACT = 64
 
 
 class SimulationError(RuntimeError):
@@ -54,10 +82,13 @@ class Environment:
     'done'
     """
 
+    __slots__ = ("_now", "_queue", "_live", "_next_eid", "_active_process")
+
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now: float = float(initial_time)
-        self._queue: list[tuple[float, int, int, "Event"]] = []
-        self._eid = count()
+        self._queue: List[Entry] = []
+        self._live: int = 0
+        self._next_eid = count().__next__
         self._active_process: Optional["Process"] = None
 
     # ------------------------------------------------------------------
@@ -73,29 +104,81 @@ class Environment:
         """The process currently being resumed, if any."""
         return self._active_process
 
-    def schedule(self, event: "Event", delay: float = 0.0, priority: int = NORMAL) -> None:
-        """Insert *event* into the calendar ``delay`` seconds from now."""
+    def schedule(self, event: "Event", delay: float = 0.0, priority: int = NORMAL) -> Entry:
+        """Insert *event* into the calendar ``delay`` seconds from now.
+
+        Returns the calendar entry — an opaque handle accepted by
+        :meth:`cancel_scheduled`.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule event in the past (delay={delay!r})")
-        heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+        entry: Entry = [self._now + delay, priority, self._next_eid(), event]
+        heappush(self._queue, entry)
+        self._live += 1
+        return entry
+
+    def cancel_scheduled(self, entry: Entry) -> bool:
+        """Tombstone a calendar *entry* returned by :meth:`schedule`.
+
+        The event will never be processed.  Returns ``False`` if the entry
+        already ran or was already cancelled.  O(1) amortised: the dead
+        entry is skipped when popped, and the heap is compacted once dead
+        entries outnumber live ones.
+        """
+        if entry[3] is None:
+            return False
+        entry[3] = None
+        self._live -= 1
+        dead = len(self._queue) - self._live
+        if dead > _MIN_COMPACT and dead > self._live:
+            self._compact()
+        return True
+
+    def _compact(self) -> None:
+        """Drop tombstones and restore the heap invariant (O(live))."""
+        self._queue = [entry for entry in self._queue if entry[3] is not None]
+        heapify(self._queue)
+
+    @property
+    def scheduled_count(self) -> int:
+        """Number of live (non-cancelled) calendar entries."""
+        return self._live
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if the calendar is empty."""
-        return self._queue[0][0] if self._queue else float("inf")
+        """Time of the next live event, or ``inf`` if the calendar is empty.
+
+        Tombstones surfacing at the top of the heap are pruned as a side
+        effect (they carry no information).
+        """
+        queue = self._queue
+        while queue:
+            if queue[0][3] is not None:
+                return queue[0][0]
+            heappop(queue)
+        return float("inf")
 
     def step(self) -> None:
-        """Process the next calendar entry.
+        """Process the next live calendar entry.
 
         Raises
         ------
         SimulationError
-            If the calendar is empty.
+            If no live entries remain.
         """
-        try:
-            when, _prio, _eid, event = heapq.heappop(self._queue)
-        except IndexError:
-            raise SimulationError("no scheduled events") from None
-        self._now = when
+        queue = self._queue
+        while True:
+            try:
+                entry = heappop(queue)
+            except IndexError:
+                raise SimulationError("no scheduled events") from None
+            event = entry[3]
+            if event is not None:
+                break
+        self._live -= 1
+        # Neutralize the handle: a later cancel_scheduled() on this entry
+        # must be a reported no-op, not a live-counter corruption.
+        entry[3] = None
+        self._now = entry[0]
         # Snapshot the callback list: an event's callbacks may legitimately
         # register new callbacks on other events while running.
         callbacks, event.callbacks = event.callbacks, None
@@ -117,8 +200,6 @@ class Environment:
             an :class:`~repro.sim.events.Event` — run until it triggers, and
             return its value.
         """
-        from repro.sim.events import Event  # local import to avoid a cycle
-
         stop_at: Optional[float] = None
         if until is None:
             pass
@@ -134,8 +215,8 @@ class Environment:
                 )
 
         try:
-            while self._queue:
-                if stop_at is not None and self._queue[0][0] > stop_at:
+            while self._live:
+                if stop_at is not None and self.peek() > stop_at:
                     self._now = stop_at
                     return None
                 self.step()
@@ -152,31 +233,83 @@ class Environment:
     # ------------------------------------------------------------------
     def event(self) -> "Event":
         """Create a fresh, untriggered :class:`~repro.sim.events.Event`."""
-        from repro.sim.events import Event
-
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> "Timeout":
         """Create a :class:`~repro.sim.events.Timeout` firing after *delay*."""
-        from repro.sim.events import Timeout
-
         return Timeout(self, delay, value)
+
+    def timer(self, callback: Callable[[], None]) -> "ReusableTimer":
+        """Create a (disarmed) :class:`ReusableTimer` invoking *callback*."""
+        return ReusableTimer(self, callback)
 
     def process(self, generator: Generator) -> "Process":
         """Start a new coroutine :class:`~repro.sim.process.Process`."""
-        from repro.sim.process import Process
-
         return Process(self, generator)
 
     def all_of(self, events) -> "AllOf":
-        from repro.sim.events import AllOf
-
         return AllOf(self, events)
 
     def any_of(self, events) -> "AnyOf":
-        from repro.sim.events import AnyOf
-
         return AnyOf(self, events)
+
+
+class ReusableTimer:
+    """A re-armable calendar callback.
+
+    One timer object serves an unbounded number of ``arm``/``fire`` cycles:
+    re-arming tombstones the previous calendar entry (which therefore never
+    fires) and pushes a fresh one.  This replaces the allocate-a-``Timeout``
+    -per-re-arm pattern, in which superseded timeouts stayed in the heap
+    and had to be filtered by generation counters in the callback.
+
+    Not an :class:`~repro.sim.events.Event`: it cannot be yielded on or
+    awaited — it satisfies exactly the calendar's processing protocol
+    (``callbacks``/``ok``/``defused``).
+    """
+
+    __slots__ = ("env", "_fn", "_cblist", "_entry", "callbacks", "defused")
+
+    #: Calendar protocol: a timer firing is always a success.
+    ok = True
+
+    def __init__(self, env: Environment, callback: Callable[[], None]) -> None:
+        self.env = env
+        self._fn = callback
+        self._cblist = [self._fire]
+        self._entry: Optional[Entry] = None
+        self.callbacks: Optional[list] = None
+        self.defused = True
+
+    @property
+    def armed(self) -> bool:
+        """True while a live calendar entry will fire this timer."""
+        entry = self._entry
+        return entry is not None and entry[3] is not None
+
+    def arm(self, delay: float, priority: int = NORMAL) -> None:
+        """(Re)schedule the callback ``delay`` seconds from now, cancelling
+        any previously armed firing."""
+        entry = self._entry
+        if entry is not None and entry[3] is not None:
+            self.env.cancel_scheduled(entry)
+        self.callbacks = self._cblist
+        self._entry = self.env.schedule(self, delay, priority)
+
+    def cancel(self) -> None:
+        """Disarm without firing (no-op if not armed)."""
+        entry = self._entry
+        if entry is not None and entry[3] is not None:
+            self.env.cancel_scheduled(entry)
+        self._entry = None
+
+    def _fire(self, _event: "ReusableTimer") -> None:
+        self._entry = None
+        self._fn()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "armed" if self.armed else "idle"
+        return f"<ReusableTimer {state} at {id(self):#x}>"
 
 
 def _stop_simulation(event: "Event") -> None:

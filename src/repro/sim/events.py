@@ -26,6 +26,8 @@ class Event:
         ``None`` once processed.
     """
 
+    __slots__ = ("env", "callbacks", "_value", "_ok", "defused")
+
     def __init__(self, env: "Environment") -> None:
         self.env = env
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
@@ -93,6 +95,8 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` seconds after creation."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         super().__init__(env)
         if delay < 0:
@@ -111,6 +115,8 @@ class Condition(Event):
 
     Failure of any constituent event fails the condition immediately.
     """
+
+    __slots__ = ("_evaluate", "_events", "_count")
 
     def __init__(
         self,
@@ -164,12 +170,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Triggers when **all** constituent events have triggered."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, lambda evs, n: n >= len(evs), events)
 
 
 class AnyOf(Condition):
     """Triggers when **any** constituent event has triggered."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, lambda evs, n: n >= 1, events)

@@ -30,11 +30,16 @@ class Process(Event):
     triggers when the generator returns (value = return value) or raises.
     """
 
+    __slots__ = ("_generator", "_target", "_send", "_throw")
+
     def __init__(self, env: "Environment", generator: Generator) -> None:
         if not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
         super().__init__(env)
         self._generator = generator
+        # Bound once: the resume loop runs these on every event cycle.
+        self._send = generator.send
+        self._throw = generator.throw
         self._target: Optional[Event] = None
         # Kick off the coroutine at the current time, before normal events.
         init = Event(env)
@@ -78,14 +83,15 @@ class Process(Event):
         """Advance the generator with the outcome of *event*."""
         env = self.env
         previous, env._active_process = env._active_process, self
+        send = self._send
         try:
             while True:
                 try:
                     if event._ok:
-                        next_target = self._generator.send(event._value)
+                        next_target = send(event._value)
                     else:
                         event.defused = True
-                        next_target = self._generator.throw(event._value)
+                        next_target = self._throw(event._value)
                 except StopIteration as stop:
                     self._target = None
                     self.succeed(stop.value)
@@ -95,29 +101,30 @@ class Process(Event):
                     self.fail(exc)
                     return
 
-                if not isinstance(next_target, Event):
-                    # Push the error back into the generator so user code sees
-                    # a meaningful traceback at the faulty ``yield``.
-                    event = Event(env)
-                    event._ok = False
-                    event._value = TypeError(
-                        f"process may only yield events, got {next_target!r}"
-                    )
-                    event.defused = True
-                    continue
-                if next_target.env is not env:
-                    event = Event(env)
-                    event._ok = False
-                    event._value = ValueError("yielded event belongs to another environment")
-                    event.defused = True
-                    continue
-
-                if next_target.processed:
+                # Fast path: a pending event of this environment (the single
+                # ``yield env.timeout(...)`` / ``yield task.event`` shape) —
+                # one isinstance, one env check, one append.
+                if isinstance(next_target, Event) and next_target.env is env:
+                    callbacks = next_target.callbacks
+                    if callbacks is not None:
+                        self._target = next_target
+                        callbacks.append(self._resume)
+                        return
                     # Already resolved: loop immediately with its outcome.
                     event = next_target
                     continue
-                self._target = next_target
-                next_target.callbacks.append(self._resume)
-                return
+
+                # Slow path: feed a descriptive error back into the
+                # generator so user code sees a meaningful traceback at the
+                # faulty ``yield``.
+                event = Event(env)
+                event._ok = False
+                if not isinstance(next_target, Event):
+                    event._value = TypeError(
+                        f"process may only yield events, got {next_target!r}"
+                    )
+                else:
+                    event._value = ValueError("yielded event belongs to another environment")
+                event.defused = True
         finally:
             env._active_process = previous

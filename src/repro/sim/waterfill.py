@@ -1,0 +1,97 @@
+"""Reference capped water-filling allocator.
+
+This is the brute-force O(rounds · n) allocator the original
+:class:`~repro.sim.cpu.SharedCPU` ran on every membership change, lifted
+out verbatim as a pure function over parallel lists.  It serves two roles:
+
+* **Oracle** — the incremental/vectorized allocator inside ``SharedCPU``
+  must reproduce this function's output *exactly* (same IEEE-754 results,
+  not just approximately); the property tests in
+  ``tests/sim/test_waterfill_properties.py`` enforce that on randomized
+  populations.
+* **Small-population fast path** — for a handful of tasks the plain Python
+  rounds beat NumPy's per-call overhead, so ``SharedCPU`` calls this
+  function directly in scalar mode.
+
+Floating-point order contract: every reduction is a sequential left-fold
+in *input order*.  Callers that need historical reproducibility must pass
+tasks in a deterministic order (``SharedCPU`` uses insertion order).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["waterfill_rates"]
+
+#: Slack used when testing a proportional share against a task's cap,
+#: identical to the historical in-kernel constant: a share within 1e-12
+#: of the cap counts as capped, which keeps the recursion from looping on
+#: representation noise.
+CAP_SLACK = 1e-12
+
+
+def waterfill_rates(
+    weights: Sequence[float], caps: Sequence[float], capacity: float
+) -> List[float]:
+    """Allocate *capacity* across tasks by capped water-filling.
+
+    Capacity is split proportionally to ``weights``; any task whose
+    proportional share reaches its cap is frozen at the cap, and the
+    remainder is redistributed among the rest (recursively, until no new
+    task caps out or capacity is exhausted).
+
+    Parameters
+    ----------
+    weights:
+        Positive fair-share weights, one per task.
+    caps:
+        Per-task maximum rates (``max_rate``), same length as *weights*.
+    capacity:
+        Total deliverable rate (cores × efficiency).
+
+    Returns
+    -------
+    list[float]
+        Allocated rate per task, aligned with the inputs.
+    """
+    n = len(weights)
+    if len(caps) != n:
+        raise ValueError(f"weights/caps length mismatch ({n} vs {len(caps)})")
+    rates = [0.0] * n
+    if n == 0:
+        return rates
+    # Fast path: everyone fits under their cap.
+    caps_sum = 0.0
+    for cap in caps:
+        caps_sum += cap
+    if caps_sum <= capacity:
+        rates[:] = caps
+        return rates
+    # Iterative water-filling: give proportional shares; freeze capped
+    # tasks at their cap and redistribute the remainder.
+    remaining = capacity
+    active = list(range(n))
+    while active:
+        weight_sum = 0.0
+        for i in active:
+            weight_sum += weights[i]
+        capped = []
+        for i in active:
+            share = remaining * weights[i] / weight_sum
+            if share >= caps[i] - CAP_SLACK:
+                capped.append(i)
+        if not capped:
+            for i in active:
+                rates[i] = remaining * weights[i] / weight_sum
+            break
+        for i in capped:
+            rates[i] = caps[i]
+            remaining -= caps[i]
+        capped_set = set(capped)
+        active = [i for i in active if i not in capped_set]
+        if remaining <= 0:
+            for i in active:
+                rates[i] = 0.0
+            break
+    return rates

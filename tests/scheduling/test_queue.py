@@ -52,6 +52,33 @@ class TestBasics:
         assert list(q) == ["a", "b", "c"]
         assert len(q) == 3  # iteration is non-destructive
 
+    def test_iter_priority_then_fifo_order(self):
+        # Regression: __iter__ heap-pops a shallow copy; equal priorities
+        # must still surface in insertion (receipt) order.
+        q = StablePriorityQueue()
+        q.push(2.0, "b1")
+        q.push(1.0, "a1")
+        q.push(2.0, "b2")
+        q.push(1.0, "a2")
+        q.push(0.5, "z")
+        assert list(q) == ["z", "a1", "a2", "b1", "b2"]
+        # Unchanged by iteration, and popping still agrees with __iter__.
+        assert len(q) == 5
+        assert [q.pop()[1] for _ in range(5)] == ["z", "a1", "a2", "b1", "b2"]
+
+    def test_iter_is_lazy_and_isolated(self):
+        # Taking a prefix must not disturb the queue, and pushes made
+        # mid-iteration must not corrupt an in-flight iterator's copy.
+        q = StablePriorityQueue()
+        for i in range(10):
+            q.push(float(i), i)
+        it = iter(q)
+        assert next(it) == 0
+        q.push(-1.0, "new-min")  # mutate mid-iteration
+        assert next(it) == 1  # iterator sees the pre-push snapshot
+        assert q.peek() == (-1.0, "new-min")
+        assert len(q) == 11
+
 
 class TestProperties:
     @given(st.lists(st.floats(allow_nan=False, allow_infinity=False), max_size=200))

@@ -1,0 +1,177 @@
+"""Cancellable-calendar and reusable-timer semantics.
+
+The calendar's tombstone mechanism is the foundation of the CPU bank's
+wake-up scheme: a superseded wake-up must *never* fire, the heap must not
+grow without bound under re-arming churn, and cancellation must be
+invisible to live entries' ordering.
+"""
+
+import pytest
+
+from repro.sim import Environment, SimulationError
+from repro.sim.core import _MIN_COMPACT
+
+
+class TestCancelScheduled:
+    def test_cancelled_entry_never_fires(self):
+        env = Environment()
+        fired = []
+        event = env.event()
+        event.callbacks.append(lambda ev: fired.append(env.now))
+        event._ok = True
+        event._value = None
+        entry = env.schedule(event, delay=5.0)
+        assert env.cancel_scheduled(entry) is True
+        env.process(iter(_sleeper(env, 10.0)))
+        env.run()
+        assert fired == []
+        assert env.now == 10.0
+
+    def test_cancel_is_idempotent_and_reports(self):
+        env = Environment()
+        entry = env.schedule(_inert_event(env), delay=1.0)
+        assert env.cancel_scheduled(entry) is True
+        assert env.cancel_scheduled(entry) is False
+
+    def test_cancel_after_fire_reports_false(self):
+        env = Environment()
+        event = env.event()
+        event._ok = True
+        event._value = None
+        entry = env.schedule(event, delay=1.0)
+        env.run()
+        assert env.cancel_scheduled(entry) is False
+
+    def test_live_count_tracks_cancellations(self):
+        env = Environment()
+        entries = [env.schedule(_inert_event(env), delay=float(i)) for i in range(10)]
+        assert env.scheduled_count == 10
+        for entry in entries[:4]:
+            env.cancel_scheduled(entry)
+        assert env.scheduled_count == 6
+
+    def test_peek_skips_tombstones(self):
+        env = Environment()
+        first = env.schedule(_inert_event(env), delay=1.0)
+        env.schedule(_inert_event(env), delay=2.0)
+        env.cancel_scheduled(first)
+        assert env.peek() == 2.0
+
+    def test_run_terminates_with_only_tombstones(self):
+        env = Environment()
+        entry = env.schedule(_inert_event(env), delay=1.0)
+        env.cancel_scheduled(entry)
+        env.run()  # must not spin or raise
+        assert env.now == 0.0
+
+    def test_step_with_only_tombstones_raises(self):
+        env = Environment()
+        entry = env.schedule(_inert_event(env), delay=1.0)
+        env.cancel_scheduled(entry)
+        with pytest.raises(SimulationError):
+            env.step()
+
+    def test_compaction_bounds_heap_growth(self):
+        env = Environment()
+        # Cancel-and-re-arm far beyond the compaction threshold; the heap
+        # must stay O(live), not O(total arms).
+        for i in range(20 * _MIN_COMPACT):
+            entry = env.schedule(_inert_event(env), delay=1.0)
+            env.cancel_scheduled(entry)
+        assert env.scheduled_count == 0
+        assert len(env._queue) <= 2 * _MIN_COMPACT + 2
+
+    def test_cancellation_preserves_fifo_of_survivors(self):
+        env = Environment()
+        order = []
+        entries = []
+        for tag in range(6):
+            event = env.event()
+            event._ok = True
+            event._value = tag
+            event.callbacks.append(lambda ev: order.append(ev.value))
+            entries.append(env.schedule(event, delay=1.0))
+        env.cancel_scheduled(entries[1])
+        env.cancel_scheduled(entries[4])
+        env.run()
+        assert order == [0, 2, 3, 5]
+
+
+class TestReusableTimer:
+    def test_fires_at_armed_time(self):
+        env = Environment()
+        fired = []
+        timer = env.timer(lambda: fired.append(env.now))
+        timer.arm(3.0)
+        env.run()
+        assert fired == [3.0]
+        assert not timer.armed
+
+    def test_rearm_supersedes_previous(self):
+        env = Environment()
+        fired = []
+        timer = env.timer(lambda: fired.append(env.now))
+        timer.arm(3.0)
+        timer.arm(7.0)  # the 3.0 firing is tombstoned, never happens
+        env.run()
+        assert fired == [7.0]
+
+    def test_cancel_prevents_firing(self):
+        env = Environment()
+        fired = []
+        timer = env.timer(lambda: fired.append(env.now))
+        timer.arm(3.0)
+        timer.cancel()
+        assert not timer.armed
+        env.run()
+        assert fired == []
+
+    def test_timer_reusable_across_many_cycles(self):
+        env = Environment()
+        fired = []
+        timer = env.timer(lambda: fired.append(env.now))
+
+        def driver(env):
+            for _ in range(5):
+                timer.arm(0.5)  # supersedes the 2.0 arm below each round
+                yield env.timeout(1.0)
+
+        timer.arm(2.0)
+        env.process(driver(env))
+        env.run()
+        assert fired == [0.5, 1.5, 2.5, 3.5, 4.5]
+
+    def test_rearm_from_within_callback(self):
+        env = Environment()
+        fired = []
+
+        def on_fire():
+            fired.append(env.now)
+            if len(fired) < 3:
+                timer.arm(1.0)
+
+        timer = env.timer(on_fire)
+        timer.arm(1.0)
+        env.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_armed_property(self):
+        env = Environment()
+        timer = env.timer(lambda: None)
+        assert not timer.armed
+        timer.arm(1.0)
+        assert timer.armed
+        env.run()
+        assert not timer.armed
+
+
+def _inert_event(env):
+    """A triggered event with no callbacks (safe to schedule directly)."""
+    event = env.event()
+    event._ok = True
+    event._value = None
+    return event
+
+
+def _sleeper(env, duration):
+    yield env.timeout(duration)

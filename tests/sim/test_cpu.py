@@ -141,6 +141,31 @@ class TestAccounting:
         env, cpu, done = run_tasks(2, [(0.0, 4.0, 1.0, 1.0)])
         assert 0.0 < cpu.utilization() <= 1.0
 
+    def test_utilization_normalizes_by_bank_lifetime(self):
+        # Regression: a bank created at t>0 must measure utilization over
+        # its own lifetime, not since t=0 (which understated idle time —
+        # here it would report 4/(2*8)=0.25 instead of 4/(2*4)=0.5).
+        env = Environment()
+
+        def late_bank(env):
+            yield env.timeout(4.0)
+            cpu = SharedCPU(env, 2)
+            task = cpu.execute(4.0)  # one core busy for 4s on a 2-core bank
+            yield task.event
+            return cpu
+
+        proc = env.process(late_bank(env))
+        env.run()
+        cpu = proc.value
+        assert cpu.created_at == pytest.approx(4.0)
+        assert env.now == pytest.approx(8.0)
+        assert cpu.utilization() == pytest.approx(0.5)
+
+    def test_utilization_zero_horizon(self):
+        env = Environment()
+        cpu = SharedCPU(env, 2)
+        assert cpu.utilization() == 0.0
+
     def test_peak_tasks_tracked(self):
         env, cpu, _ = run_tasks(
             1, [(0.0, 5.0, 1.0, 1.0), (1.0, 5.0, 1.0, 1.0), (2.0, 5.0, 1.0, 1.0)]

@@ -1,0 +1,182 @@
+"""Property tests for the incremental water-filling kernel.
+
+The contract under test: :class:`~repro.sim.cpu.SharedCPU`'s internal
+allocator (scalar or vectorized, incremental fast path or frontier
+rounds) must reproduce the retained brute-force oracle
+:func:`repro.sim.waterfill.waterfill_rates` **exactly** — same IEEE-754
+doubles, not approximately — on the live population in insertion order.
+Seeds come from :class:`~repro.sim.rng.RngRegistry` streams, so every
+"random" population here is reproducible from the printed seed.
+"""
+
+import pytest
+
+import repro.sim.cpu as cpumod
+from repro.sim import Environment, SharedCPU, linear_overhead_efficiency
+from repro.sim.rng import RngRegistry
+from repro.sim.waterfill import waterfill_rates
+
+#: Dyadic weight grid matching the real workloads (memory/256 shares).
+DYADIC_WEIGHTS = [0.25, 0.5, 1.0, 2.0, 4.0]
+
+
+def _live_population(cpu):
+    """(tasks, weights, caps) of the live population in insertion order."""
+    tasks = list(cpu._iter_live())
+    return tasks, [t.weight for t in tasks], [t.max_rate for t in tasks]
+
+
+def _capacity(cpu):
+    n = cpu.active_tasks
+    eff = cpu._efficiency(n, cpu.cores) if cpu._efficiency else 1.0
+    return cpu.cores * eff
+
+
+def _assert_matches_oracle(cpu):
+    tasks, weights, caps = _live_population(cpu)
+    expected = waterfill_rates(weights, caps, _capacity(cpu))
+    actual = [t.rate for t in tasks]
+    assert actual == expected, (
+        f"allocator diverged from oracle on n={len(tasks)} "
+        f"(vector={cpu._vector})"
+    )
+
+
+def _churn_bank(cpu, rng, n_tasks, weight_pool, cap_pool, cancel_prob=0.1):
+    """Drive a bank through arrivals/completions/cancellations, asserting
+    oracle equality after every membership change."""
+    env = cpu.env
+    checked = {"events": 0}
+
+    def submit(env, start, work, weight, cap):
+        yield env.timeout(start)
+        task = cpu.execute(work, weight=weight, max_rate=cap)
+        _assert_matches_oracle(cpu)
+        checked["events"] += 1
+        if rng.random() < cancel_prob:
+            grace = float(rng.uniform(0.0, 1.0))
+            yield env.timeout(grace)
+            if task.event.callbacks is not None and task in cpu._tasks:
+                cpu.cancel(task)
+                _assert_matches_oracle(cpu)
+                checked["events"] += 1
+        else:
+            try:
+                yield task.event
+            except RuntimeError:
+                pass
+            _assert_matches_oracle(cpu)
+            checked["events"] += 1
+
+    starts = rng.uniform(0, 10, n_tasks)
+    works = rng.uniform(0.05, 3.0, n_tasks)
+    for i in range(n_tasks):
+        weight = float(rng.choice(weight_pool))
+        cap = float(rng.choice(cap_pool))
+        env.process(submit(env, float(starts[i]), float(works[i]), weight, cap))
+    env.run()
+    assert checked["events"] >= n_tasks
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+@pytest.mark.parametrize("kappa", [0.0, 0.7])
+def test_dyadic_weights_uniform_caps_match_oracle_exactly(seed, kappa):
+    """The production regime: dyadic weights, unit caps, with and without
+    an oversubscription penalty."""
+    rng = RngRegistry(seed).get("waterfill-prop")
+    env = Environment()
+    cpu = SharedCPU(env, cores=4, efficiency=linear_overhead_efficiency(kappa))
+    _churn_bank(cpu, rng, n_tasks=120, weight_pool=DYADIC_WEIGHTS, cap_pool=[1.0])
+
+
+@pytest.mark.parametrize("seed", [11, 12])
+def test_arbitrary_weights_and_caps_match_oracle_exactly(seed):
+    """Adversarial inputs: continuous random weights/caps (nothing dyadic,
+    mixed cap frontier).  The allocator's left-fold reductions are
+    op-for-op the oracle's, so equality is still exact."""
+    rng = RngRegistry(seed).get("waterfill-prop-arb")
+    env = Environment()
+    cpu = SharedCPU(env, cores=8)
+    weight_pool = [float(w) for w in rng.uniform(0.1, 5.0, 7)]
+    cap_pool = [float(c) for c in rng.uniform(0.2, 3.0, 5)]
+    _churn_bank(cpu, rng, n_tasks=150, weight_pool=weight_pool, cap_pool=cap_pool)
+
+
+@pytest.mark.parametrize("seed", [21, 22])
+def test_vector_mode_forced_matches_oracle(seed, monkeypatch):
+    """Force the NumPy columns from the first task, so even tiny
+    populations exercise the vectorized rounds."""
+    monkeypatch.setattr(cpumod, "_VECTOR_ENTER", 0)
+    monkeypatch.setattr(cpumod, "_SCALAR_EXIT", -1)
+    rng = RngRegistry(seed).get("waterfill-prop-vec")
+    env = Environment()
+    cpu = SharedCPU(env, cores=4, efficiency=linear_overhead_efficiency(1.0))
+    weight_pool = DYADIC_WEIGHTS + [float(w) for w in rng.uniform(0.3, 3.0, 3)]
+    _churn_bank(cpu, rng, n_tasks=90, weight_pool=weight_pool, cap_pool=[0.5, 1.0, 2.0])
+
+
+def test_waterfill_invariants_random():
+    """Allocation sanity on raw random inputs: caps respected, capacity
+    never exceeded (beyond representation slack), full usage when some
+    task is uncapped."""
+    rng = RngRegistry(99).get("waterfill-invariants")
+    for _ in range(200):
+        n = int(rng.integers(1, 40))
+        weights = [float(w) for w in rng.uniform(0.05, 8.0, n)]
+        caps = [float(c) for c in rng.uniform(0.05, 4.0, n)]
+        capacity = float(rng.uniform(0.5, 64.0))
+        rates = waterfill_rates(weights, caps, capacity)
+        assert len(rates) == n
+        for rate, cap in zip(rates, caps):
+            assert 0.0 <= rate <= cap + 1e-9
+        assert sum(rates) <= capacity + 1e-6
+        if sum(caps) <= capacity:
+            assert rates == caps
+
+
+class TestModeEquivalence:
+    """The scalar and vector representations — and the ETA-heap versus the
+    exact scan — are interchangeable: identical completion times,
+    identical accounting."""
+
+    @staticmethod
+    def _run_workload(seed, cores=16, n_tasks=200, cap_pool=(0.5, 1.0, 2.0)):
+        rng = RngRegistry(seed).get("mode-eq")
+        env = Environment()
+        cpu = SharedCPU(env, cores=cores)
+        done = {}
+
+        def submit(env, i, start, work, weight, cap):
+            yield env.timeout(start)
+            task = cpu.execute(work, weight=weight, max_rate=cap)
+            yield task.event
+            done[i] = env.now
+
+        for i, (start, work) in enumerate(
+            zip(rng.uniform(0, 15, n_tasks), rng.uniform(0.05, 5.0, n_tasks))
+        ):
+            weight = float(rng.choice(DYADIC_WEIGHTS))
+            cap = float(rng.choice(cap_pool))
+            env.process(submit(env, i, float(start), float(work), weight, cap))
+        env.run()
+        return done, cpu.delivered_work, cpu.idle_core_seconds, cpu.peak_tasks
+
+    @pytest.mark.parametrize("seed", [31, 32])
+    def test_scalar_vs_vector_bit_identical(self, seed, monkeypatch):
+        monkeypatch.setattr(cpumod, "_VECTOR_ENTER", 0)
+        monkeypatch.setattr(cpumod, "_SCALAR_EXIT", -1)
+        vector = self._run_workload(seed)
+        monkeypatch.setattr(cpumod, "_VECTOR_ENTER", 10**9)
+        monkeypatch.setattr(cpumod, "_SCALAR_EXIT", -1)
+        scalar = self._run_workload(seed)
+        assert vector == scalar
+
+    @pytest.mark.parametrize("seed", [41, 42])
+    def test_eta_heap_vs_scan_bit_identical(self, seed, monkeypatch):
+        # All-capped regime on a wide bank so the heap actually activates.
+        monkeypatch.setattr(cpumod, "_HEAP_MIN_N", 4)
+        monkeypatch.setattr(cpumod, "_HEAP_STREAK", 1)
+        with_heap = self._run_workload(seed, cores=4096)
+        monkeypatch.setattr(cpumod, "_HEAP_MIN_N", 10**9)
+        without_heap = self._run_workload(seed, cores=4096)
+        assert with_heap == without_heap

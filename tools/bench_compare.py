@@ -1,0 +1,115 @@
+"""Compare two pytest-benchmark JSON files and flag regressions.
+
+Usage::
+
+    python tools/bench_compare.py BENCH_old.json BENCH_new.json
+    python tools/bench_compare.py --threshold 0.10 old.json new.json
+
+Reads the ``--benchmark-json`` output of two benchmark runs (e.g. the
+committed ``benchmarks/BENCH_kernel_before.json`` /
+``BENCH_kernel_after.json`` pair, or a CI run against the committed
+baseline), matches benchmarks by name, and reports the speed ratio per
+benchmark.  Exits non-zero when any shared benchmark slowed down by more
+than ``--threshold`` (default 20%), so a CI job can surface kernel
+performance regressions — run it ``continue-on-error`` if the signal
+should stay advisory.
+
+Comparison uses each benchmark's *minimum* observed time: the minimum is
+the least noise-sensitive location statistic for a deterministic
+workload (everything above it is scheduler/cache interference).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict
+
+
+def load_benchmarks(path: Path) -> Dict[str, dict]:
+    """``name -> stats`` for every benchmark in a pytest-benchmark JSON."""
+    data = json.loads(path.read_text())
+    benchmarks = data.get("benchmarks")
+    if not isinstance(benchmarks, list):
+        raise ValueError(f"{path}: not a pytest-benchmark JSON file")
+    return {bench["name"]: bench["stats"] for bench in benchmarks}
+
+
+def format_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:.3f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value * 1e6:.1f}us"
+
+
+def compare(old: Dict[str, dict], new: Dict[str, dict], threshold: float):
+    """Yield ``(name, old_min, new_min, ratio, regressed)`` rows for the
+    shared benchmarks, slowest regression first."""
+    rows = []
+    for name in sorted(set(old) & set(new)):
+        old_min = float(old[name]["min"])
+        new_min = float(new[name]["min"])
+        ratio = new_min / old_min if old_min > 0 else float("inf")
+        rows.append((name, old_min, new_min, ratio, ratio > 1.0 + threshold))
+    rows.sort(key=lambda row: -row[3])
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff two pytest-benchmark JSON files and flag regressions."
+    )
+    parser.add_argument("old", type=Path, help="baseline benchmark JSON")
+    parser.add_argument("new", type=Path, help="candidate benchmark JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="max tolerated slowdown fraction before failing (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+
+    old = load_benchmarks(args.old)
+    new = load_benchmarks(args.new)
+    rows = compare(old, new, args.threshold)
+
+    only_old = sorted(set(old) - set(new))
+    only_new = sorted(set(new) - set(old))
+    if not rows:
+        print("no shared benchmarks between the two files")
+        return 2
+
+    width = max(len(name) for name, *_ in rows)
+    regressions = 0
+    for name, old_min, new_min, ratio, regressed in rows:
+        if regressed:
+            verdict = f"REGRESSION (+{(ratio - 1.0) * 100.0:.1f}%)"
+            regressions += 1
+        elif ratio < 1.0:
+            verdict = f"{1.0 / ratio:.2f}x faster"
+        else:
+            verdict = f"+{(ratio - 1.0) * 100.0:.1f}% (within threshold)"
+        print(
+            f"{name:<{width}}  {format_seconds(old_min):>10} -> "
+            f"{format_seconds(new_min):>10}  {verdict}"
+        )
+    for name in only_old:
+        print(f"{name:<{width}}  removed (baseline only)")
+    for name in only_new:
+        print(f"{name:<{width}}  new (no baseline)")
+
+    if regressions:
+        print(
+            f"\n{regressions} benchmark(s) regressed beyond "
+            f"{args.threshold * 100:.0f}% tolerance"
+        )
+        return 1
+    print("\nno regressions beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
