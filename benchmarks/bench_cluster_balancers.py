@@ -1,0 +1,42 @@
+"""Bench: balancer flavours head to head on a fixed multi-node fleet.
+
+Extension beyond the paper (which uses the stock assignment): the same
+burst on a 3-node fleet under every registered balancer, reported as a
+Table-III-style comparison plus per-flavour routing quality (imbalance,
+spill rate).  Locality and power-of-d are expected to spread load at
+least as evenly as least-loaded probing allows while spilling rarely.
+"""
+
+from repro.cluster.controller import balancer_names
+from repro.experiments.artifacts import table3_from_grid
+from repro.experiments.grid import GridSpec, run_grid
+from repro.metrics.cluster import cluster_breakdown
+
+
+def test_cluster_balancer_sweep(run_once, full_protocol, engine_opts):
+    spec = GridSpec(
+        cores=(10,),
+        intensities=(30, 60) if full_protocol else (30,),
+        strategies=("FC",),
+        seeds=(1, 2, 3, 4, 5) if full_protocol else (1,),
+        nodes=(3,),
+        balancers=tuple(balancer_names()),
+    )
+    grid = run_once(run_grid, spec, **engine_opts)
+    print()
+    print(table3_from_grid(grid).render())
+    print()
+    for key in grid.cell_keys():
+        first = grid.results_for(key)[0]
+        breakdown = cluster_breakdown(first)
+        print(
+            f"{grid.cell_label(key)}: imbalance x{breakdown.imbalance:.2f}, "
+            f"spill rate {breakdown.spill_rate:.1%}"
+        )
+        assert breakdown.imbalance >= 1.0
+
+    # Every flavour routed every call somewhere, and the sweep produced
+    # one cell per balancer.
+    assert len(grid.cells) == len(balancer_names()) * len(spec.cores) * len(
+        spec.intensities
+    ) * len(spec.strategies)

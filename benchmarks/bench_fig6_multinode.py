@@ -8,9 +8,12 @@ on 2 VMs still wins the average but loses the extreme tail.
 from repro.experiments.fig6_multinode import run_fig6
 
 
-def test_fig6_multinode_sweep(run_once, full_protocol):
+def test_fig6_multinode_sweep(run_once, full_protocol, engine_opts):
+    # fig6 rides the parallel engine like the grid benches: REPRO_JOBS
+    # shards its (nodes x strategy x seed) cells, REPRO_CACHE_DIR reuses
+    # them across runs.
     seeds = (1, 2, 3, 4, 5) if full_protocol else (1,)
-    result = run_once(run_fig6, cores_per_node=18, seeds=seeds)
+    result = run_once(run_fig6, cores_per_node=18, seeds=seeds, **engine_opts)
     print()
     print(result.render())
 

@@ -6,7 +6,6 @@ small" — per-seed means of a cell stay within a small factor of each
 other.
 """
 
-import numpy as np
 
 from repro.experiments.artifacts import table3_from_grid
 from repro.experiments.grid import GridSpec, run_grid

@@ -45,6 +45,10 @@ _EXPORTS = {
     "FairChoice": "repro.scheduling.policies",
     "make_policy": "repro.scheduling.policies",
     "RuntimeEstimator": "repro.scheduling.estimator",
+    "ClusterSpec": "repro.cluster.spec",
+    "AutoscalerConfig": "repro.cluster.autoscaler",
+    "balancer_names": "repro.cluster.controller",
+    "make_balancer": "repro.cluster.controller",
     "ExperimentConfig": "repro.experiments.config",
     "MultiNodeConfig": "repro.experiments.config",
     "run_experiment": "repro.experiments.runner",
@@ -82,6 +86,9 @@ def __dir__():
 
 
 if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from repro.cluster.autoscaler import AutoscalerConfig
+    from repro.cluster.controller import balancer_names, make_balancer
+    from repro.cluster.spec import ClusterSpec
     from repro.experiments.config import ExperimentConfig, MultiNodeConfig
     from repro.experiments.grid import GridResults, GridSpec, run_grid
     from repro.experiments.parallel import (

@@ -25,10 +25,17 @@ Run the experiment grid directly, selecting a slice and a scenario::
     faas-sched grid --jobs 4 --cores 10 20 --intensities 30 60 --seeds 1 2
     faas-sched grid --scenario diurnal --scenario-param amplitude=0.9
 
-Run a single ad-hoc experiment::
+Sweep the cluster dimension — node counts × balancer flavours — through
+the same grid engine (cached and parallelized like any other cell)::
+
+    faas-sched grid --nodes 1 2 4 --balancer least-loaded power-of-d
+    faas-sched grid --nodes 3 --balancer locality --balancer-param capacity_factor=1.5
+
+Run a single ad-hoc experiment (optionally on a multi-node cluster)::
 
     faas-sched simulate --cores 10 --intensity 60 --policy SEPT --seed 1
     faas-sched simulate --scenario replay --scenario-param path=trace.csv
+    faas-sched simulate --nodes 3 --balancer power-of-d --autoscale
 """
 
 from __future__ import annotations
@@ -39,12 +46,15 @@ import sys
 from dataclasses import replace
 from typing import Any, List, Optional, Sequence, Tuple
 
+from repro.cluster.controller import balancer_names
+from repro.cluster.spec import ClusterSpec
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.grid import GridSpec, run_grid
 from repro.experiments.parallel import ResultCache, WorkerError, progress_printer
 from repro.experiments.registry import EXPERIMENTS, run_registered
 from repro.experiments.runner import run_experiment
 from repro.experiments.artifacts import table3_from_grid
+from repro.metrics.cluster import cluster_breakdown
 from repro.metrics.report import render_summary_table
 from repro.workload.registry import get_scenario, scenario_names
 
@@ -107,7 +117,9 @@ def _add_scenario_arguments(
 _PYTHON_LITERALS = {"True": True, "False": False, "None": None}
 
 
-def _parse_scenario_params(pairs: Sequence[str]) -> Tuple[Tuple[str, Any], ...]:
+def _parse_kv_params(
+    pairs: Sequence[str], flag: str = "--scenario-param"
+) -> Tuple[Tuple[str, Any], ...]:
     """``["k=v", ...]`` → ``(("k", parsed_v), ...)``; values JSON-decoded
     when possible (Python's True/False/None spellings accepted too) so
     numbers/bools/lists arrive typed."""
@@ -115,9 +127,7 @@ def _parse_scenario_params(pairs: Sequence[str]) -> Tuple[Tuple[str, Any], ...]:
     for pair in pairs:
         key, sep, raw = pair.partition("=")
         if not sep or not key:
-            raise SystemExit(
-                f"error: --scenario-param expects key=value, got {pair!r}"
-            )
+            raise SystemExit(f"error: {flag} expects key=value, got {pair!r}")
         if raw in _PYTHON_LITERALS:
             value: Any = _PYTHON_LITERALS[raw]
         else:
@@ -127,6 +137,63 @@ def _parse_scenario_params(pairs: Sequence[str]) -> Tuple[Tuple[str, Any], ...]:
                 value = raw
         params.append((key, value))
     return tuple(params)
+
+
+def _parse_scenario_params(pairs: Sequence[str]) -> Tuple[Tuple[str, Any], ...]:
+    return _parse_kv_params(pairs, "--scenario-param")
+
+
+def _parse_balancer_params(pairs: Sequence[str]) -> Tuple[Tuple[str, Any], ...]:
+    return _parse_kv_params(pairs, "--balancer-param")
+
+
+def _add_cluster_arguments(
+    parser: argparse.ArgumentParser, sweep: bool
+) -> None:
+    """Cluster-topology selection shared by run/grid/simulate.
+
+    ``sweep=True`` (run/grid) accepts several node counts and balancer
+    flavours — the grid crosses them; ``simulate`` takes one of each.
+    """
+    nargs = {"nargs": "+"} if sweep else {}
+    parser.add_argument(
+        "--nodes",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker-node count" + (" (several values sweep the grid)" if sweep else "")
+            + "; default: 1"
+        ),
+        **nargs,
+    )
+    parser.add_argument(
+        "--balancer",
+        default=None,
+        choices=balancer_names(),
+        metavar="NAME",
+        help=(
+            "load-balancer flavour "
+            + ("(several values sweep the grid); " if sweep else "; ")
+            + f"one of: {', '.join(balancer_names())}; default: least-loaded"
+        ),
+        **nargs,
+    )
+    parser.add_argument(
+        "--balancer-param",
+        action="append",
+        default=[],
+        metavar="K=V",
+        help=(
+            "balancer constructor parameter as key=value (repeatable), "
+            "e.g. --balancer-param d=3 or capacity_factor=1.5"
+        ),
+    )
+    parser.add_argument(
+        "--autoscale",
+        action="store_true",
+        help="attach the reactive autoscaler (default config) to every run",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -155,6 +222,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_arguments(run)
     _add_scenario_arguments(run)
+    _add_cluster_arguments(run, sweep=True)
 
     grid = sub.add_parser(
         "grid",
@@ -176,6 +244,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_arguments(grid)
     _add_scenario_arguments(grid, default="uniform")
+    _add_cluster_arguments(grid, sweep=True)
 
     sim = sub.add_parser("simulate", help="run one ad-hoc single-node experiment")
     sim.add_argument("--cores", type=int, default=10)
@@ -184,6 +253,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--seed", type=int, default=1)
     sim.add_argument("--memory-mb", type=int, default=32768)
     _add_scenario_arguments(sim, default="uniform")
+    _add_cluster_arguments(sim, sweep=False)
     return parser
 
 
@@ -201,6 +271,14 @@ def _grid_spec_from_args(args: argparse.Namespace) -> GridSpec:
     if args.scenario:
         overrides["scenario"] = args.scenario
         overrides["scenario_params"] = _parse_scenario_params(args.scenario_param)
+    if args.nodes:
+        overrides["nodes"] = tuple(args.nodes)
+    if args.balancer:
+        overrides["balancers"] = tuple(args.balancer)
+    if args.balancer_param:
+        overrides["balancer_params"] = _parse_balancer_params(args.balancer_param)
+    if args.autoscale:
+        overrides["autoscale"] = True
     return replace(spec, **overrides) if overrides else spec
 
 
@@ -269,8 +347,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "run":
         try:
             # run_registered rejects a --scenario override for artifacts
-            # with fixed workloads; scenario builds can also fail (empty
-            # stochastic scenario, unreadable replay CSV).
+            # with fixed workloads and a cluster override for fixed
+            # topologies; scenario builds can also fail (empty stochastic
+            # scenario, unreadable replay CSV).
             report = run_registered(
                 args.experiment,
                 quick=not args.full,
@@ -279,6 +358,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 progress=None if args.no_progress else progress_printer(),
                 scenario=args.scenario,
                 scenario_params=_parse_scenario_params(args.scenario_param),
+                nodes=args.nodes,
+                balancers=args.balancer,
+                balancer_params=_parse_balancer_params(args.balancer_param),
+                autoscale=args.autoscale,
             )
         except (ValueError, OSError, WorkerError) as exc:
             # With --jobs > 1 the same failures surface as WorkerError;
@@ -315,9 +398,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "simulate":
         try:
-            # Construction validates scenario params (e.g. value types);
-            # the run can fail on an empty stochastic scenario or a
-            # replay CSV that does not exist / cannot be read.
+            # Construction validates scenario params and the cluster
+            # topology (balancer name/params, autoscaler); the run can
+            # fail on an empty stochastic scenario or a replay CSV that
+            # does not exist / cannot be read.
             cfg = ExperimentConfig(
                 cores=args.cores,
                 intensity=args.intensity,
@@ -326,19 +410,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 memory_mb=args.memory_mb,
                 scenario=args.scenario,
                 scenario_params=_parse_scenario_params(args.scenario_param),
+                cluster=ClusterSpec(
+                    nodes=args.nodes if args.nodes is not None else 1,
+                    balancer=args.balancer if args.balancer is not None else "least-loaded",
+                    balancer_params=_parse_balancer_params(args.balancer_param),
+                    autoscaler=() if args.autoscale else None,
+                ),
             )
             result = run_experiment(cfg)
         except (ValueError, OSError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         print(render_summary_table([(cfg.label(), result.summary())]))
-        stats = result.node_stats[0]
-        print(
-            f"\ncold starts: {stats['cold_starts']}  evictions: {stats['evictions']}  "
-            f"hot hits: {stats['hot_hits']}  warm hits: {stats['warm_hits']}\n"
-            f"cpu utilization: {stats['cpu_utilization']:.2f}  "
-            f"daemon utilization: {stats['daemon_utilization']:.2f}"
-        )
+        if result.balancer_stats is not None:
+            # Cluster run: the per-node breakdown says how the fleet was
+            # used (spread, utilization divergence, routing spills).
+            print()
+            print(cluster_breakdown(result).render())
+        else:
+            stats = result.node_stats[0]
+            print(
+                f"\ncold starts: {stats['cold_starts']}  evictions: {stats['evictions']}  "
+                f"hot hits: {stats['hot_hits']}  warm hits: {stats['warm_hits']}\n"
+                f"cpu utilization: {stats['cpu_utilization']:.2f}  "
+                f"daemon utilization: {stats['daemon_utilization']:.2f}"
+            )
         return 0
 
     return 1  # pragma: no cover - argparse enforces commands

@@ -3,30 +3,52 @@
 * :mod:`repro.cluster.network` — client ↔ platform latency (the ≈10 ms
   controller/Kafka overhead included in the paper's Table I);
 * :mod:`repro.cluster.controller` — load balancers assigning calls to
-  invokers (round-robin, least-loaded, OpenWhisk-like hash-with-overflow);
+  invokers (round-robin, least-loaded, OpenWhisk-like hash-with-overflow,
+  power-of-d sampling, warm-container locality) plus their routing
+  statistics;
+* :mod:`repro.cluster.spec` — :class:`ClusterSpec`, the hashable fleet
+  topology carried by experiment configs (node count, per-node
+  overrides, balancer flavour + kwargs, optional autoscaler);
+* :mod:`repro.cluster.autoscaler` — the reactive horizontal autoscaler;
 * :mod:`repro.cluster.platform` — the :class:`FaaSPlatform` façade that
   drives a scenario through the controller and invokers and collects
   client-side :class:`~repro.metrics.records.CallRecord`\\ s.
 """
 
+from repro.cluster.autoscaler import AutoscalerConfig, ReactiveAutoscaler
 from repro.cluster.controller import (
     BALANCERS,
+    BalancerStats,
     HashOverflowBalancer,
     LeastLoadedBalancer,
     LoadBalancer,
+    LocalityBalancer,
+    PowerOfDChoicesBalancer,
     RoundRobinBalancer,
+    balancer_names,
     make_balancer,
+    validate_balancer_params,
 )
 from repro.cluster.network import NetworkModel
 from repro.cluster.platform import FaaSPlatform
+from repro.cluster.spec import DEFAULT_CLUSTER, ClusterSpec
 
 __all__ = [
+    "AutoscalerConfig",
     "BALANCERS",
+    "BalancerStats",
+    "ClusterSpec",
+    "DEFAULT_CLUSTER",
     "FaaSPlatform",
     "HashOverflowBalancer",
     "LeastLoadedBalancer",
     "LoadBalancer",
+    "LocalityBalancer",
     "NetworkModel",
+    "PowerOfDChoicesBalancer",
+    "ReactiveAutoscaler",
     "RoundRobinBalancer",
+    "balancer_names",
     "make_balancer",
+    "validate_balancer_params",
 ]

@@ -1,7 +1,7 @@
 """The OpenWhisk controller's load-balancing role.
 
 The paper does not modify the controller; its multi-node experiments use
-the stock assignment of invocations to invokers.  We provide three
+the stock assignment of invocations to invokers.  We provide five
 balancers:
 
 * :class:`RoundRobinBalancer` — cyclic assignment;
@@ -9,24 +9,87 @@ balancers:
 * :class:`HashOverflowBalancer` — OpenWhisk's sharding-pool flavour: each
   function has a *home* invoker (hash of its name); when the home's
   outstanding work exceeds a capacity factor the call spills to the next
-  invoker in a deterministic ring.
+  invoker in a deterministic ring;
+* :class:`PowerOfDChoicesBalancer` — join-shortest-of-d sampling: probe
+  ``d`` invokers drawn from a seeded PRNG and send the call to the least
+  loaded of the sample (Mitzenmacher's power of two choices for d=2);
+* :class:`LocalityBalancer` — warm-container affinity: prefer invokers
+  already holding idle warm containers for the request's function,
+  spilling over a deterministic hash ring when every warm holder is
+  overloaded.
+
+Every balancer counts its routing decisions in :class:`BalancerStats`
+(picks, spills) so experiment results can report per-cluster routing
+quality; the :class:`~repro.cluster.platform.FaaSPlatform` increments
+``picks`` once per routed call and the spill-capable balancers increment
+``spills`` themselves.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Protocol, Sequence, Type
+import inspect
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Sequence, Type
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.workload.functions import FunctionSpec
     from repro.workload.generator import Request
 
 __all__ = [
+    "BalancerStats",
     "LoadBalancer",
     "RoundRobinBalancer",
     "LeastLoadedBalancer",
     "HashOverflowBalancer",
+    "PowerOfDChoicesBalancer",
+    "LocalityBalancer",
     "BALANCERS",
+    "balancer_names",
+    "balancer_param_names",
     "make_balancer",
+    "validate_balancer_params",
 ]
+
+
+@dataclass
+class BalancerStats:
+    """Routing counters of one balancer instance.
+
+    ``picks`` counts routed calls (incremented by the platform, once per
+    call); ``spills`` counts the calls a balancer could not place on its
+    preferred invoker (home shard over threshold, no warm holder
+    available, ...) — balancers without a preferred/fallback distinction
+    never spill.
+    """
+
+    picks: int = 0
+    spills: int = 0
+
+    @property
+    def spill_rate(self) -> float:
+        """Fraction of routed calls that left the preferred invoker."""
+        return self.spills / self.picks if self.picks else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "picks": self.picks,
+            "spills": self.spills,
+            "spill_rate": self.spill_rate,
+        }
+
+
+def _is_int(value: Any) -> bool:
+    """True for genuine integers (bool is technically int but never what
+    a balancer parameter means)."""
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _check_capacity_factor(value: Any) -> None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(f"capacity_factor must be a number, got {value!r}")
+    if value <= 0:
+        raise ValueError("capacity_factor must be positive")
 
 
 class LoadBalancer:
@@ -43,6 +106,7 @@ class LoadBalancer:
         if not invokers:
             raise ValueError("need at least one invoker")
         self.invokers = invokers if isinstance(invokers, list) else list(invokers)
+        self.stats = BalancerStats()
 
     def pick(self, request: "Request") -> int:
         raise NotImplementedError
@@ -70,47 +134,251 @@ class LeastLoadedBalancer(LoadBalancer):
         )
 
 
-class HashOverflowBalancer(LoadBalancer):
+class _ThresholdMixin:
+    """Shared overload threshold and deterministic hash-ring walk for the
+    spilling balancers (``capacity_factor`` x cores outstanding calls)."""
+
+    capacity_factor: float
+
+    def _threshold(self, invoker) -> float:
+        return self.capacity_factor * invoker.config.cores
+
+    def _ring_pick(self, invokers: List, home: int) -> int:
+        """First under-threshold invoker on the ring starting at *home*;
+        the globally least-loaded one if every invoker is overloaded."""
+        n = len(invokers)
+        for step in range(n):
+            index = (home + step) % n
+            if invokers[index].outstanding < self._threshold(invokers[index]):
+                return index
+        return min(range(n), key=lambda i: (invokers[i].outstanding, i))
+
+
+class HashOverflowBalancer(_ThresholdMixin, LoadBalancer):
     """Home invoker by function-name hash, spill on overload.
 
     ``capacity_factor`` scales each node's nominal concurrency (its core
     count) into an outstanding-call threshold above which the balancer
     tries the next invoker on the ring; if every invoker is above its
-    threshold the least-loaded one is used.
+    threshold the least-loaded one is used.  Every call that leaves its
+    home invoker counts as one spill in :attr:`LoadBalancer.stats`.
     """
 
     name = "hash-overflow"
 
     def __init__(self, invokers: Sequence, capacity_factor: float = 2.0) -> None:
         super().__init__(invokers)
-        if capacity_factor <= 0:
-            raise ValueError("capacity_factor must be positive")
+        _check_capacity_factor(capacity_factor)
         self.capacity_factor = capacity_factor
 
-    def _threshold(self, invoker) -> float:
-        return self.capacity_factor * invoker.config.cores
+    def pick(self, request: "Request") -> int:
+        home = _stable_hash(request.function.name) % len(self.invokers)
+        index = self._ring_pick(self.invokers, home)
+        if index != home:
+            self.stats.spills += 1
+        return index
+
+
+class PowerOfDChoicesBalancer(LoadBalancer):
+    """Join-shortest-of-d: sample ``d`` distinct invokers, pick the least
+    loaded of the sample (ties by index).
+
+    The classic load-balancing result: sampling just two queues gets
+    exponentially close to join-shortest-queue at a fraction of the
+    probing cost — the right trade for large fleets where probing every
+    invoker per call is unrealistic.  Sampling uses a private
+    ``random.Random(seed)``, so runs are deterministic for a given seed
+    and bit-identical across the serial and parallel engines; the
+    experiment runner derives ``seed`` from the experiment's root seed
+    unless one is given explicitly.
+
+    Reads ``len(self.invokers)`` on every pick, so invokers appended to a
+    live list mid-run (autoscaling) join the sampling population
+    immediately.
+    """
+
+    name = "power-of-d"
+
+    def __init__(self, invokers: Sequence, d: int = 2, seed: int = 1) -> None:
+        super().__init__(invokers)
+        # Exact type checks, not coercion: d=2.5 would silently truncate
+        # while the cache fingerprint kept the untruncated value, so
+        # distinct fingerprints would simulate identically.
+        if not _is_int(d) or d < 1:
+            raise ValueError(f"d must be an integer >= 1, got {d!r}")
+        if not _is_int(seed):
+            raise ValueError(f"seed must be an integer, got {seed!r}")
+        self.d = d
+        self._rng = random.Random(seed)
 
     def pick(self, request: "Request") -> int:
         n = len(self.invokers)
-        home = _stable_hash(request.function.name) % n
-        for step in range(n):
-            index = (home + step) % n
-            if self.invokers[index].outstanding < self._threshold(self.invokers[index]):
-                return index
-        return min(range(n), key=lambda i: (self.invokers[i].outstanding, i))
+        if self.d >= n:
+            candidates = range(n)
+        else:
+            candidates = self._rng.sample(range(n), self.d)
+        return min(candidates, key=lambda i: (self.invokers[i].outstanding, i))
+
+
+class LocalityBalancer(_ThresholdMixin, LoadBalancer):
+    """Warm-container affinity with deterministic overflow.
+
+    Prefers invokers that already hold an idle warm container for the
+    request's function — routing there skips the cold-start path
+    entirely, which is the single largest response-time term for short
+    functions (paper Sect. VI).  Among warm holders under the overload
+    threshold (``capacity_factor`` x cores outstanding calls, like
+    :class:`HashOverflowBalancer`), the one with the most idle warm
+    containers wins, ties broken by fewer outstanding calls then index.
+
+    When no invoker holds a warm container — or every holder is over its
+    threshold — the call *spills* (counted in stats) over the same
+    deterministic hash ring as :class:`HashOverflowBalancer`: home by
+    function-name hash, first under-threshold invoker on the ring,
+    least-loaded as the last resort.  Spilling therefore tends to create
+    a warm container on the spill target, so a hot function's working
+    set spreads over exactly as many invokers as its load requires.
+
+    Invokers that do not expose a container pool (plain stubs) count as
+    holding no warm containers.
+    """
+
+    name = "locality"
+
+    def __init__(self, invokers: Sequence, capacity_factor: float = 2.0) -> None:
+        super().__init__(invokers)
+        _check_capacity_factor(capacity_factor)
+        self.capacity_factor = capacity_factor
+
+    @staticmethod
+    def _warm_count(invoker, spec: "FunctionSpec") -> int:
+        pool = getattr(invoker, "pool", None)
+        if pool is None:
+            return 0
+        return pool.warm_count(spec)
+
+    def pick(self, request: "Request") -> int:
+        n = len(self.invokers)
+        spec = request.function
+        best: Optional[int] = None
+        best_key = None
+        for index in range(n):
+            invoker = self.invokers[index]
+            warm = self._warm_count(invoker, spec)
+            if warm <= 0 or invoker.outstanding >= self._threshold(invoker):
+                continue
+            key = (-warm, invoker.outstanding, index)
+            if best_key is None or key < best_key:
+                best, best_key = index, key
+        if best is not None:
+            return best
+        # No routable warm holder: deterministic hash-ring overflow
+        # (shared with HashOverflowBalancer).
+        self.stats.spills += 1
+        return self._ring_pick(self.invokers, _stable_hash(spec.name) % n)
 
 
 #: Registry of balancer flavours by name.
 BALANCERS: Dict[str, Type[LoadBalancer]] = {
     cls.name: cls
-    for cls in (RoundRobinBalancer, LeastLoadedBalancer, HashOverflowBalancer)
+    for cls in (
+        RoundRobinBalancer,
+        LeastLoadedBalancer,
+        HashOverflowBalancer,
+        PowerOfDChoicesBalancer,
+        LocalityBalancer,
+    )
 }
 
 
-def make_balancer(name: str, invokers: Sequence, **kwargs) -> LoadBalancer:
+def balancer_names() -> List[str]:
+    """Sorted names of every registered balancer flavour."""
+    return sorted(BALANCERS)
+
+
+def balancer_param_names(name: str) -> List[str]:
+    """The constructor parameters balancer *name* declares (beyond the
+    invoker list) — what a sweep may legitimately pass it."""
+    return sorted(_declared_params(_balancer_class(name)))
+
+
+def _balancer_class(name: str) -> Type[LoadBalancer]:
     cls = BALANCERS.get(name)
     if cls is None:
-        raise KeyError(f"unknown balancer {name!r}; available: {sorted(BALANCERS)}")
+        raise ValueError(
+            f"unknown balancer {name!r}; available: {', '.join(balancer_names())}"
+        )
+    return cls
+
+
+def _declared_params(cls: Type[LoadBalancer]) -> Dict[str, inspect.Parameter]:
+    """Constructor keyword parameters beyond ``self``/``invokers``."""
+    parameters = dict(inspect.signature(cls.__init__).parameters)
+    parameters.pop("self", None)
+    parameters.pop("invokers", None)
+    return parameters
+
+
+class _ProbeInvoker:
+    """Inert stand-in used to run constructor-time validation."""
+
+    outstanding = 0
+
+
+def validate_balancer_params(
+    name: str, params: Optional[Mapping[str, Any]] = None
+) -> Dict[str, Any]:
+    """Validate balancer *name* and constructor *params*, returning the
+    params merged over the constructor's declared defaults.
+
+    Unknown names and parameters raise :class:`ValueError` listing what
+    *is* available; value errors (``capacity_factor=0``, ``d=0``) surface
+    from a probe construction, so a bad cluster configuration fails when
+    the config is built, not minutes into a sweep.  ``seed`` is excluded
+    from the merged defaults: it is injected at run time from the
+    experiment's root seed unless the caller pinned it explicitly.
+    """
+    cls = _balancer_class(name)
+    params = dict(params) if params else {}
+    declared = _declared_params(cls)
+    unknown = sorted(set(params) - set(declared))
+    if unknown:
+        valid = ", ".join(sorted(declared)) or "(none)"
+        raise ValueError(
+            f"unknown parameter(s) {unknown} for balancer {name!r}; "
+            f"valid parameters: {valid}"
+        )
+    try:
+        cls([_ProbeInvoker()], **params)  # value checks (raises ValueError)
+    except TypeError as exc:
+        # A constructor tripping over a wrong-typed value (e.g. comparing
+        # str to int) must still surface as the validation error the
+        # config layer and the CLI promise to handle.
+        raise ValueError(
+            f"invalid parameter value for balancer {name!r}: {exc}"
+        ) from exc
+    merged = {
+        pname: parameter.default
+        for pname, parameter in declared.items()
+        if pname != "seed" and parameter.default is not inspect.Parameter.empty
+    }
+    merged.update(params)
+    return merged
+
+
+def make_balancer(
+    name: str, invokers: Sequence, *, seed: Optional[int] = None, **kwargs
+) -> LoadBalancer:
+    """Instantiate the balancer registered under *name*.
+
+    ``seed`` is forwarded only to balancers that declare a ``seed``
+    parameter (the sampling ones) and only when the caller did not pass
+    one in ``kwargs`` — so an experiment's root seed drives the sampling
+    PRNG by default while an explicit ``seed`` balancer param pins it.
+    """
+    cls = _balancer_class(name)
+    if seed is not None and "seed" in _declared_params(cls) and "seed" not in kwargs:
+        kwargs = {**kwargs, "seed": seed}
     return cls(invokers, **kwargs)
 
 

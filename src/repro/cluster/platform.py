@@ -81,6 +81,9 @@ class FaaSPlatform:
         # Request leg: client -> controller/Kafka -> invoker.
         yield env.timeout(self.network.request_delay())
         index = self.balancer.pick(request)
+        stats = getattr(self.balancer, "stats", None)
+        if stats is not None:  # duck-typed custom balancers may omit it
+            stats.picks += 1
         info = yield self.invokers[index].submit(request)
         # Response leg: invoker -> client.
         yield env.timeout(self.network.response_delay())

@@ -12,7 +12,7 @@ These go beyond the paper's artifacts; each isolates one mechanism:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_experiment

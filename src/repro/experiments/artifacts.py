@@ -5,7 +5,7 @@ per-seed appendix figures 7–36, which are the same views without pooling).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from repro.experiments.config import BASELINE
 from repro.experiments.grid import (
@@ -28,6 +28,7 @@ __all__ = [
     "FigureBoxes",
     "fig3_from_grid",
     "fig4_from_grid",
+    "reject_cluster_sweep",
 ]
 
 
@@ -47,6 +48,36 @@ def _scenario_tag(scenario: str, params: ScenarioParams = ()) -> str:
     return f" [scenario={scenario}{' ' + detail if detail else ''}]"
 
 
+def _cluster_tag(spec: GridSpec) -> str:
+    """Title suffix when the whole grid ran on one non-default cluster
+    topology.  Sweeps over several topologies tag nothing here — every
+    row's label then carries its own ``nodes``/``balancer``."""
+    variants = spec.cluster_variants()
+    if len(variants) != 1 or variants[0].is_default:
+        return ""
+    variant = variants[0]
+    tag = f" [cluster: nodes={variant.nodes} balancer={variant.balancer}"
+    if variant.autoscaler is not None:
+        tag += " autoscale"
+    return tag + "]"
+
+
+def reject_cluster_sweep(spec: GridSpec, artifact: str) -> None:
+    """Figure 3/4 and Table II views are keyed per (cores, intensity,
+    strategy); under a multi-topology sweep they would silently render
+    empty.  Refuse instead — one topology per invocation (Table III/IV
+    render sweeps natively).  The registry calls this *before* running a
+    grid so a doomed sweep fails before any simulation time is spent.
+    """
+    if spec.has_cluster_sweep:
+        raise ValueError(
+            f"{artifact} renders one cluster topology at a time; this grid "
+            f"sweeps nodes={spec.nodes} x balancers={spec.balancers}. "
+            f"Run per topology (single --nodes/--balancer), or view the sweep "
+            f"through table3/table4."
+        )
+
+
 @dataclass
 class Table2Result:
     """(cores, intensity) -> (lo, hi) FIFO/baseline max-c(i) ratio range."""
@@ -54,6 +85,7 @@ class Table2Result:
     ranges: Dict[Tuple[int, int], Tuple[float, float]]
     scenario: str = "uniform"
     scenario_params: ScenarioParams = ()
+    cluster_tag: str = ""
 
     def render(self) -> str:
         rows = []
@@ -65,7 +97,8 @@ class Table2Result:
             ["cores", "intensity", "paper FIFO/baseline", "measured FIFO/baseline"],
             rows,
             title="Table II — max completion time, FIFO-to-baseline ratios"
-            + _scenario_tag(self.scenario, self.scenario_params),
+            + _scenario_tag(self.scenario, self.scenario_params)
+            + self.cluster_tag,
         )
 
 
@@ -75,6 +108,7 @@ def table2_from_grid(grid: GridResults) -> Table2Result:
     The paper pairs seed *k* of FIFO with seed *k* of the baseline (both
     runs replay the same call sequence).
     """
+    reject_cluster_sweep(grid.spec, "table2")
     ranges: Dict[Tuple[int, int], Tuple[float, float]] = {}
     for cores in grid.spec.cores:
         for intensity in grid.spec.intensities:
@@ -90,6 +124,7 @@ def table2_from_grid(grid: GridResults) -> Table2Result:
         ranges=ranges,
         scenario=grid.spec.scenario,
         scenario_params=grid.spec.scenario_params,
+        cluster_tag=_cluster_tag(grid.spec),
     )
 
 
@@ -103,35 +138,33 @@ class Table3Result:
 
     def render(self) -> str:
         entries = []
-        for cores in self.grid.spec.cores:
-            for intensity in self.grid.spec.intensities:
-                for strategy in self.grid.spec.strategies:
-                    if (cores, intensity, strategy) not in self.grid.cells:
-                        continue
-                    if self.per_seed:
-                        for seed_idx, stats in enumerate(
-                            self.grid.per_seed_summaries(cores, intensity, strategy), 1
-                        ):
-                            entries.append(
-                                (f"c={cores} v={intensity} {strategy} #{seed_idx}", stats)
-                            )
-                    else:
-                        entries.append(
-                            (
-                                f"c={cores} v={intensity} {strategy}",
-                                self.grid.summary(cores, intensity, strategy),
-                            )
-                        )
+        for key in self.grid.cell_keys():
+            label = self.grid.cell_label(key)
+            if self.per_seed:
+                for seed_idx, result in enumerate(self.grid.results_for(key), 1):
+                    entries.append((f"{label} #{seed_idx}", result.summary()))
+            else:
+                entries.append((label, self.grid.summary_for(key)))
         title = (
             "Table IV — per-experiment numeric results"
             if self.per_seed
             else "Table III — aggregated numeric results"
         )
         title += _scenario_tag(self.grid.spec.scenario, self.grid.spec.scenario_params)
+        title += _cluster_tag(self.grid.spec)
         return render_summary_table(entries, title=title)
 
     def render_comparison(self) -> str:
         """Paper-vs-measured for the cells present in both."""
+        # The paper's Table III is single-node; comparing a different
+        # topology against it would present apples as oranges.
+        tag = _cluster_tag(self.grid.spec)
+        if tag or self.grid.spec.has_cluster_sweep:
+            return (
+                "Table III — paper comparison skipped: the paper's numbers "
+                "are single-node, this grid ran on a different cluster "
+                "topology."
+            )
         rows = []
         for (cores, intensity, strategy), paper in sorted(TABLE3.items()):
             if (cores, intensity, strategy) not in self.grid.cells:
@@ -178,6 +211,7 @@ class FigureBoxes:
     boxes: Dict[Tuple[int, int, str], BoxStats]
     scenario: str = "uniform"
     scenario_params: ScenarioParams = ()
+    cluster_tag: str = ""
 
     def render(self) -> str:
         rows = []
@@ -201,7 +235,8 @@ class FigureBoxes:
             ["panel", "strategy", "q1", "median", "q3", "mean", "whisker_hi", "n"],
             rows,
             title=f"{figure} — box statistics, pooled over seeds"
-            + _scenario_tag(self.scenario, self.scenario_params),
+            + _scenario_tag(self.scenario, self.scenario_params)
+            + self.cluster_tag,
         )
         return table + "\n\n" + self.render_plots()
 
@@ -231,6 +266,7 @@ class FigureBoxes:
 
 
 def _figure_boxes(grid: GridResults, metric: str) -> FigureBoxes:
+    reject_cluster_sweep(grid.spec, "fig3/fig4")
     boxes: Dict[Tuple[int, int, str], BoxStats] = {}
     cores_list = [c for c in FIGURE_CORES if c in grid.spec.cores] or list(grid.spec.cores)
     intensities = [v for v in FIGURE_INTENSITIES if v in grid.spec.intensities] or list(
@@ -254,6 +290,7 @@ def _figure_boxes(grid: GridResults, metric: str) -> FigureBoxes:
         boxes=boxes,
         scenario=grid.spec.scenario,
         scenario_params=grid.spec.scenario_params,
+        cluster_tag=_cluster_tag(grid.spec),
     )
 
 

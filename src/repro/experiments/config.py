@@ -11,9 +11,10 @@ fails before any simulation time is spent.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Mapping, Optional, Tuple, Union
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Mapping, Tuple, Union
 
+from repro.cluster.spec import DEFAULT_CLUSTER, ClusterSpec
 from repro.node.config import NodeConfig
 from repro.workload.registry import get_scenario
 
@@ -85,7 +86,15 @@ class ExperimentConfig:
         Whether containers and runtime estimates are warmed before the
         burst (the paper always warms; disable to study cold behaviour).
     node_overrides:
-        Extra :class:`~repro.node.config.NodeConfig` fields (ablations).
+        Extra :class:`~repro.node.config.NodeConfig` fields (ablations),
+        applied to every node of the fleet.
+    cluster:
+        The fleet topology (:class:`~repro.cluster.spec.ClusterSpec`):
+        node count, per-node overrides, balancer flavour + kwargs,
+        optional autoscaler.  A mapping of ``ClusterSpec`` fields is
+        accepted and normalised.  The default is the classic single-node
+        experiment; anything else routes the run through the cluster
+        path (Sect. VIII) and is part of the cache fingerprint.
     """
 
     cores: int
@@ -98,6 +107,7 @@ class ExperimentConfig:
     warmup: bool = True
     window_s: float = 60.0
     node_overrides: Tuple[Tuple[str, Any], ...] = ()
+    cluster: ClusterSpec = DEFAULT_CLUSTER
 
     def __post_init__(self) -> None:
         # validate_params raises ValueError on an unknown scenario name
@@ -110,6 +120,18 @@ class ExperimentConfig:
         supplied = _freeze_params(self.scenario_params)
         merged = get_scenario(self.scenario).validate_params(dict(supplied))
         object.__setattr__(self, "scenario_params", _freeze_params(merged))
+        # The cluster topology normalises the same way: a mapping (or
+        # None) becomes a validated ClusterSpec, so every equal topology
+        # has exactly one stored — and fingerprinted — form.
+        if self.cluster is None:
+            object.__setattr__(self, "cluster", DEFAULT_CLUSTER)
+        elif isinstance(self.cluster, Mapping):
+            object.__setattr__(self, "cluster", ClusterSpec(**self.cluster))
+        elif not isinstance(self.cluster, ClusterSpec):
+            raise ValueError(
+                f"cluster must be a ClusterSpec or a mapping of its fields, "
+                f"got {type(self.cluster).__name__}"
+            )
 
     def scenario_kwargs(self) -> Dict[str, Any]:
         """The scenario parameters as a plain dict (builder kwargs)."""
@@ -132,15 +154,22 @@ class ExperimentConfig:
         base = f"{self.policy} c={self.cores} v={self.intensity} seed={self.seed}"
         if self.scenario != "uniform":
             base += f" scenario={self.scenario}"
-        return base
+        return base + self.cluster.label_suffix()
 
 
 @dataclass(frozen=True)
 class MultiNodeConfig:
-    """One multi-node run (paper Sect. VIII).
+    """One multi-node run (paper Sect. VIII) — legacy spelling.
 
     The paper sends a *fixed* request count (1320 on 10-core VMs, 2376 on
     18-core VMs) while varying the number of worker VMs from 4 down to 1.
+
+    New code should prefer an :class:`ExperimentConfig` with the
+    ``multi-node`` scenario and a :class:`~repro.cluster.spec.ClusterSpec`
+    — that spelling sweeps, caches, and parallelizes like every other
+    experiment.  This class is kept for existing callers and cached
+    results; :func:`~repro.experiments.runner.run_multi_node_experiment`
+    still consumes it.
     """
 
     nodes: int

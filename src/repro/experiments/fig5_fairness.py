@@ -11,9 +11,8 @@ long function's stretch versus SEPT (paper: average 5.3 → 2.1, median
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
-import numpy as np
 
 from repro.experiments.config import BASELINE, ExperimentConfig
 from repro.experiments.paper_data import FIG5_FAIRNESS

@@ -1,8 +1,16 @@
-"""The paper's single-node experiment grid (Sects. V–VII).
+"""The paper's experiment grid (Sects. V–VII), plus the cluster dimension.
 
 The grid spans cores × intensity × strategy × 5 seeds.  Tables II–IV and
 Figures 3–4 (and appendix Figures 7–36) are all views over this grid, so
 the runner caches results per cell and the artifact modules slice them.
+
+Beyond the paper, a :class:`GridSpec` can also sweep the *cluster*
+dimension — node count × balancer flavour (Sect. VIII elevated into the
+grid): every cell then runs on each requested topology, cached and
+parallelized exactly like the single-node cells.  When only one topology
+is requested (the default), cell keys keep their historical
+``(cores, intensity, strategy)`` form; a genuine cluster sweep extends
+them to ``(cores, intensity, strategy, nodes, balancer)``.
 """
 
 from __future__ import annotations
@@ -11,6 +19,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
+from repro.cluster.spec import ClusterSpec
 from repro.experiments.config import BASELINE, ExperimentConfig
 from repro.experiments.parallel import EngineStats, ProgressCallback, run_configs
 from repro.experiments.runner import ExperimentResult
@@ -37,16 +46,26 @@ PAPER_STRATEGIES = (BASELINE, "FIFO", "SEPT", "EECT", "RECT", "FC")
 FIGURE_CORES = (10, 20)
 FIGURE_INTENSITIES = (30, 40, 60)
 
+#: A grid cell key: ``(cores, intensity, strategy)`` historically, or
+#: ``(cores, intensity, strategy, nodes, balancer)`` under a cluster sweep.
+CellKey = Union[Tuple[int, int, str], Tuple[int, int, str, int, str]]
+
 
 @dataclass(frozen=True)
 class GridSpec:
-    """Which slice of the grid to run, and under which workload.
+    """Which slice of the grid to run, and under which workload/topology.
 
     ``scenario``/``scenario_params`` select a registered workload scenario
     (default: the paper's ``uniform`` burst) applied to every cell — so any
     scenario from ``faas-sched scenarios`` can be swept over the full
     cores × intensity × strategy × seed grid, cached and parallelized like
     the paper's own workload.
+
+    ``nodes``/``balancers`` (plus ``balancer_params``/``autoscale``) sweep
+    the cluster topology the same way: every cell runs once per
+    ``nodes × balancers`` combination.  The defaults request exactly the
+    classic single-node topology, keeping cell keys and results identical
+    to the historical grid.
     """
 
     cores: Tuple[int, ...] = PAPER_CORES
@@ -55,6 +74,14 @@ class GridSpec:
     seeds: Tuple[int, ...] = (1, 2, 3, 4, 5)
     scenario: str = "uniform"
     scenario_params: Tuple[Tuple[str, Any], ...] = ()
+    #: Cluster sweep: node counts × balancer flavours.
+    nodes: Tuple[int, ...] = (1,)
+    balancers: Tuple[str, ...] = ("least-loaded",)
+    #: Balancer constructor kwargs, applied to every swept balancer that
+    #: declares them (validated per flavour at config construction).
+    balancer_params: Tuple[Tuple[str, Any], ...] = ()
+    #: Attach the reactive autoscaler (default config) to every topology.
+    autoscale: bool = False
 
     @classmethod
     def quick(cls) -> "GridSpec":
@@ -72,53 +99,254 @@ class GridSpec:
                 for strategy in self.strategies:
                     yield cores, intensity, strategy
 
+    def cluster_variants(self) -> Tuple[ClusterSpec, ...]:
+        """The swept cluster topologies (``nodes × balancers`` product),
+        validated — a bad balancer name/param fails before any run.
+
+        ``balancer_params`` reach each swept flavour filtered to the
+        parameters it declares (so ``--balancer least-loaded power-of-d
+        --balancer-param d=3`` works), but a parameter no swept flavour
+        declares is a typo and is rejected outright.
+
+        Memoized per spec: grid views look topologies up per cell, and
+        validation (signature probing + a probe construction per variant)
+        is too heavy to repeat O(cells) times on a frozen value.
+        """
+        cached = getattr(self, "_variants_cache", None)
+        if cached is not None:
+            return cached
+        variants = self._build_cluster_variants()
+        # Frozen dataclass: memo via object.__setattr__; not a field, so
+        # equality/hash/serialization are unaffected.
+        object.__setattr__(self, "_variants_cache", variants)
+        return variants
+
+    def _build_cluster_variants(self) -> Tuple[ClusterSpec, ...]:
+        from repro.cluster.controller import balancer_param_names
+
+        declared_by = {name: set(balancer_param_names(name)) for name in self.balancers}
+        supplied = {name for name, _ in self.balancer_params}
+        unknown = sorted(supplied - set().union(*declared_by.values(), set()))
+        if unknown:
+            raise ValueError(
+                f"balancer parameter(s) {unknown} are not declared by any "
+                f"swept balancer ({', '.join(self.balancers)})"
+            )
+        return tuple(
+            ClusterSpec(
+                nodes=nodes,
+                balancer=balancer,
+                balancer_params=tuple(
+                    (name, value)
+                    for name, value in self.balancer_params
+                    if name in declared_by[balancer]
+                ),
+                autoscaler=() if self.autoscale else None,
+            )
+            for nodes in self.nodes
+            for balancer in self.balancers
+        )
+
+    @property
+    def has_cluster_sweep(self) -> bool:
+        """True when more than one topology is requested — cell keys then
+        carry the ``(nodes, balancer)`` suffix."""
+        return len(self.nodes) * len(self.balancers) > 1
+
+    def cell_keys(self) -> List[CellKey]:
+        """Every cell key of this spec, in run order."""
+        variants = self.cluster_variants()  # validated once, not per cell
+        keys: List[CellKey] = []
+        for cores, intensity, strategy in self.cells():
+            for variant in variants:
+                if self.has_cluster_sweep:
+                    keys.append(
+                        (cores, intensity, strategy, variant.nodes, variant.balancer)
+                    )
+                else:
+                    keys.append((cores, intensity, strategy))
+        return keys
+
 
 @dataclass
 class GridResults:
-    """Results keyed by (cores, intensity, strategy) -> one result per seed."""
+    """Results keyed by cell -> one result per seed.
+
+    Keys are ``(cores, intensity, strategy)`` tuples on classic grids and
+    ``(cores, intensity, strategy, nodes, balancer)`` tuples when the
+    spec sweeps more than one cluster topology (see
+    :attr:`GridSpec.has_cluster_sweep`).
+    """
 
     spec: GridSpec
-    cells: Dict[Tuple[int, int, str], List[ExperimentResult]]
+    cells: Dict[CellKey, List[ExperimentResult]]
     #: How the grid was executed (worker count, computed vs. cache hits);
     #: ``None`` for results assembled outside :func:`run_grid`.
     stats: Optional[EngineStats] = None
 
-    def results(self, cores: int, intensity: int, strategy: str) -> List[ExperimentResult]:
-        return self.cells[(cores, intensity, strategy)]
+    # -- key handling ---------------------------------------------------
+    def _key(
+        self,
+        cores: int,
+        intensity: int,
+        strategy: str,
+        nodes: Optional[int],
+        balancer: Optional[str],
+    ) -> CellKey:
+        if not self.spec.has_cluster_sweep:
+            # Single topology, 3-tuple keys — but an explicit selector
+            # naming a *different* topology must fail loudly rather than
+            # silently return another topology's data.
+            (variant,) = self.spec.cluster_variants()
+            if nodes is not None and nodes != variant.nodes:
+                raise KeyError(
+                    f"grid ran with nodes={variant.nodes}; no cell has "
+                    f"nodes={nodes}"
+                )
+            if balancer is not None and balancer != variant.balancer:
+                raise KeyError(
+                    f"grid ran with balancer={variant.balancer!r}; no cell "
+                    f"has balancer={balancer!r}"
+                )
+            return (cores, intensity, strategy)
+        if nodes is None:
+            if len(self.spec.nodes) != 1:
+                raise KeyError(
+                    f"grid sweeps nodes={self.spec.nodes}; pass nodes=... to "
+                    f"select a cell"
+                )
+            nodes = self.spec.nodes[0]
+        if balancer is None:
+            if len(self.spec.balancers) != 1:
+                raise KeyError(
+                    f"grid sweeps balancers={self.spec.balancers}; pass "
+                    f"balancer=... to select a cell"
+                )
+            balancer = self.spec.balancers[0]
+        return (cores, intensity, strategy, nodes, balancer)
 
-    def pooled_records(self, cores: int, intensity: int, strategy: str) -> List[CallRecord]:
-        """All call records of a cell, pooled over seeds (the paper's boxes
-        aggregate "all individual calls from all 5 sequences")."""
+    def cell_keys(self) -> List[CellKey]:
+        """The stored cell keys, in run order."""
+        return list(self.cells)
+
+    @staticmethod
+    def cell_label(key: CellKey) -> str:
+        """Human-readable label for one cell key."""
+        cores, intensity, strategy = key[0], key[1], key[2]
+        label = f"c={cores} v={intensity} {strategy}"
+        if len(key) == 5:
+            label += f" nodes={key[3]} balancer={key[4]}"
+        return label
+
+    # -- views ----------------------------------------------------------
+    def results(
+        self,
+        cores: int,
+        intensity: int,
+        strategy: str,
+        nodes: Optional[int] = None,
+        balancer: Optional[str] = None,
+    ) -> List[ExperimentResult]:
+        return self.cells[self._key(cores, intensity, strategy, nodes, balancer)]
+
+    def results_for(self, key: CellKey) -> List[ExperimentResult]:
+        """The per-seed results of one stored cell key."""
+        return self.cells[key]
+
+    def pooled_records_for(self, key: CellKey) -> List[CallRecord]:
         pooled: List[CallRecord] = []
-        for result in self.results(cores, intensity, strategy):
+        for result in self.cells[key]:
             pooled.extend(result.records)
         return pooled
 
-    def summary(self, cores: int, intensity: int, strategy: str) -> SummaryStats:
+    def summary_for(self, key: CellKey) -> SummaryStats:
+        return summarize(self.pooled_records_for(key))
+
+    def pooled_records(
+        self,
+        cores: int,
+        intensity: int,
+        strategy: str,
+        nodes: Optional[int] = None,
+        balancer: Optional[str] = None,
+    ) -> List[CallRecord]:
+        """All call records of a cell, pooled over seeds (the paper's boxes
+        aggregate "all individual calls from all 5 sequences")."""
+        return self.pooled_records_for(
+            self._key(cores, intensity, strategy, nodes, balancer)
+        )
+
+    def summary(
+        self,
+        cores: int,
+        intensity: int,
+        strategy: str,
+        nodes: Optional[int] = None,
+        balancer: Optional[str] = None,
+    ) -> SummaryStats:
         """Table-III style aggregate over pooled seeds."""
-        return summarize(self.pooled_records(cores, intensity, strategy))
+        return summarize(
+            self.pooled_records(cores, intensity, strategy, nodes, balancer)
+        )
 
     def per_seed_summaries(
-        self, cores: int, intensity: int, strategy: str
+        self,
+        cores: int,
+        intensity: int,
+        strategy: str,
+        nodes: Optional[int] = None,
+        balancer: Optional[str] = None,
     ) -> List[SummaryStats]:
         """Table-IV style per-experiment rows."""
-        return [r.summary() for r in self.results(cores, intensity, strategy)]
+        return [
+            r.summary()
+            for r in self.results(cores, intensity, strategy, nodes, balancer)
+        ]
 
-    def response_box(self, cores: int, intensity: int, strategy: str) -> BoxStats:
+    def response_box(
+        self,
+        cores: int,
+        intensity: int,
+        strategy: str,
+        nodes: Optional[int] = None,
+        balancer: Optional[str] = None,
+    ) -> BoxStats:
         """One box of Figure 3."""
         return box_stats(
-            [r.response_time for r in self.pooled_records(cores, intensity, strategy)]
+            [
+                r.response_time
+                for r in self.pooled_records(cores, intensity, strategy, nodes, balancer)
+            ]
         )
 
-    def stretch_box(self, cores: int, intensity: int, strategy: str) -> BoxStats:
+    def stretch_box(
+        self,
+        cores: int,
+        intensity: int,
+        strategy: str,
+        nodes: Optional[int] = None,
+        balancer: Optional[str] = None,
+    ) -> BoxStats:
         """One box of Figure 4."""
         return box_stats(
-            [r.stretch for r in self.pooled_records(cores, intensity, strategy)]
+            [
+                r.stretch
+                for r in self.pooled_records(cores, intensity, strategy, nodes, balancer)
+            ]
         )
 
-    def makespans(self, cores: int, intensity: int, strategy: str) -> List[float]:
+    def makespans(
+        self,
+        cores: int,
+        intensity: int,
+        strategy: str,
+        nodes: Optional[int] = None,
+        balancer: Optional[str] = None,
+    ) -> List[float]:
         """Per-seed ``max c(i)`` values (Table II inputs)."""
-        return [r.makespan for r in self.results(cores, intensity, strategy)]
+        return [
+            r.makespan for r in self.results(cores, intensity, strategy, nodes, balancer)
+        ]
 
 
 def run_grid(
@@ -128,7 +356,7 @@ def run_grid(
     cache_dir: Optional[Union[str, Path]] = None,
     progress: Optional[ProgressCallback] = None,
 ) -> GridResults:
-    """Run (cores × intensity × strategy × seeds) single-node experiments
+    """Run (cores × intensity × strategy × topology × seeds) experiments
     under the spec's workload scenario (default: the paper's uniform burst).
 
     Routed through the :mod:`repro.experiments.parallel` engine: ``jobs=N``
@@ -138,6 +366,7 @@ def run_grid(
     finished cell (see :func:`~repro.experiments.parallel.progress_printer`).
     """
     spec = spec if spec is not None else GridSpec()
+    variants = spec.cluster_variants()
     configs = [
         ExperimentConfig(
             cores=cores,
@@ -146,16 +375,18 @@ def run_grid(
             seed=seed,
             scenario=spec.scenario,
             scenario_params=spec.scenario_params,
+            cluster=variant,
         )
         for cores, intensity, strategy in spec.cells()
+        for variant in variants
         for seed in spec.seeds
     ]
     stats = EngineStats()
     flat = run_configs(
         configs, jobs=jobs, cache_dir=cache_dir, progress=progress, stats=stats
     )
-    cells: Dict[Tuple[int, int, str], List[ExperimentResult]] = {}
+    cells: Dict[CellKey, List[ExperimentResult]] = {}
     per_cell = len(spec.seeds)
-    for i, key in enumerate(spec.cells()):
+    for i, key in enumerate(spec.cell_keys()):
         cells[key] = flat[i * per_cell : (i + 1) * per_cell]
     return GridResults(spec=spec, cells=cells, stats=stats)

@@ -37,9 +37,10 @@ import sys
 import traceback
 from dataclasses import dataclass, fields
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, TextIO, Tuple, Union
+from typing import Any, Callable, Dict, Iterable, List, Optional, TextIO, Tuple, Union
 
 import repro
+from repro.cluster.spec import ClusterSpec
 from repro.experiments.config import ExperimentConfig, MultiNodeConfig
 from repro.experiments.runner import (
     ExperimentResult,
@@ -69,7 +70,9 @@ ProgressCallback = Callable[[int, int, str, bool], None]
 
 #: Bump when the cached payload layout changes; old entries then miss.
 #: v2: configs carry ``scenario_params`` (scenario registry).
-CACHE_SCHEMA_VERSION = 2
+#: v3: configs carry ``cluster`` (ClusterSpec) and results carry
+#: ``balancer_stats`` (cluster routing diagnostics).
+CACHE_SCHEMA_VERSION = 3
 
 _CONFIG_TYPES = {
     "ExperimentConfig": ExperimentConfig,
@@ -91,6 +94,8 @@ def config_to_dict(config: AnyConfig) -> Dict[str, Any]:
     for name in _PAIR_FIELDS:
         if name in data:
             data[name] = [list(pair) for pair in data[name]]
+    if isinstance(data.get("cluster"), ClusterSpec):
+        data["cluster"] = data["cluster"].to_dict()
     return {"type": type(config).__name__, "fields": data}
 
 
@@ -110,6 +115,8 @@ def config_from_dict(payload: Dict[str, Any]) -> AnyConfig:
     for name in _PAIR_FIELDS:
         if name in data:
             data[name] = tuple((key, _untuple(value)) for key, value in data[name])
+    if isinstance(data.get("cluster"), dict):
+        data["cluster"] = ClusterSpec.from_dict(data["cluster"])
     return cls(**data)
 
 
@@ -138,6 +145,7 @@ def result_to_payload(result: ExperimentResult) -> Dict[str, Any]:
         "config": config_to_dict(result.config),
         "records": records_to_dicts(result.records),
         "node_stats": result.node_stats,
+        "balancer_stats": result.balancer_stats,
     }
 
 
@@ -147,6 +155,7 @@ def result_from_payload(payload: Dict[str, Any]) -> ExperimentResult:
         config=config_from_dict(payload["config"]),
         records=records_from_dicts(payload["records"]),
         node_stats=payload["node_stats"],
+        balancer_stats=payload.get("balancer_stats"),
     )
 
 

@@ -1,20 +1,23 @@
 """Experiment registry: one entry per paper artifact (see DESIGN.md §4).
 
 Each entry maps an experiment id to a callable
-``run(quick: bool, engine: EngineOptions, workload: WorkloadSelection) ->
-str`` returning a rendered report.  ``quick=True`` runs a scaled-down
-version (fewer seeds / smaller sweeps) suitable for CI and the default
-benchmark invocation; ``quick=False`` reproduces the paper's full
-protocol.  ``engine`` carries the execution knobs (worker count, cache
-directory, progress callback) and ``workload`` an optional scenario
-override (``--scenario``/``--scenario-param``) for the grid-backed
-artifacts; artifacts that do not run the grid ignore both.
+``run(quick: bool, engine: EngineOptions, workload: WorkloadSelection,
+cluster: ClusterSelection) -> str`` returning a rendered report.
+``quick=True`` runs a scaled-down version (fewer seeds / smaller sweeps)
+suitable for CI and the default benchmark invocation; ``quick=False``
+reproduces the paper's full protocol.  ``engine`` carries the execution
+knobs (worker count, cache directory, progress callback), ``workload``
+an optional scenario override (``--scenario``/``--scenario-param``) and
+``cluster`` an optional cluster-topology override
+(``--nodes``/``--balancer``/...) for the grid-backed artifacts;
+artifacts that do not run the grid ignore the engine knobs and reject
+the overrides.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.experiments.ablations import (
     ablate_busy_limit,
@@ -25,6 +28,7 @@ from repro.experiments.ablations import (
 from repro.experiments.artifacts import (
     fig3_from_grid,
     fig4_from_grid,
+    reject_cluster_sweep,
     table2_from_grid,
     table3_from_grid,
 )
@@ -39,6 +43,7 @@ __all__ = [
     "EXPERIMENTS",
     "GRID_BACKED",
     "WorkloadSelection",
+    "ClusterSelection",
     "run_registered",
     "experiment_ids",
 ]
@@ -59,8 +64,6 @@ class WorkloadSelection:
     def apply(self, spec: GridSpec) -> GridSpec:
         if self.scenario is None:
             return spec
-        from dataclasses import replace
-
         return replace(spec, scenario=self.scenario, scenario_params=self.params)
 
 
@@ -68,7 +71,43 @@ class WorkloadSelection:
 DEFAULT_WORKLOAD = WorkloadSelection()
 
 
-def _grid_spec(quick: bool, workload: WorkloadSelection) -> GridSpec:
+@dataclass(frozen=True)
+class ClusterSelection:
+    """An optional cluster-topology override for grid-backed artifacts.
+
+    All fields at their defaults keep each artifact's own topology (the
+    paper's single-node protocol); setting ``nodes``/``balancers`` reruns
+    the artifact's grid swept over those topologies instead — e.g.
+    Table III on 3 nodes under power-of-d routing.
+    """
+
+    nodes: Optional[Tuple[int, ...]] = None
+    balancers: Optional[Tuple[str, ...]] = None
+    balancer_params: Tuple[Tuple[str, Any], ...] = ()
+    autoscale: bool = False
+
+    @property
+    def is_default(self) -> bool:
+        return self == DEFAULT_CLUSTER_SELECTION
+
+    def apply(self, spec: GridSpec) -> GridSpec:
+        changes: Dict[str, Any] = {}
+        if self.nodes is not None:
+            changes["nodes"] = tuple(self.nodes)
+        if self.balancers is not None:
+            changes["balancers"] = tuple(self.balancers)
+        if self.balancer_params:
+            changes["balancer_params"] = tuple(self.balancer_params)
+        if self.autoscale:
+            changes["autoscale"] = True
+        return replace(spec, **changes) if changes else spec
+
+
+#: No override: every artifact runs on its published topology.
+DEFAULT_CLUSTER_SELECTION = ClusterSelection()
+
+
+def _grid_spec(quick: bool, workload: WorkloadSelection, cluster: ClusterSelection) -> GridSpec:
     if quick:
         spec = GridSpec(
             cores=(10, 20),
@@ -78,14 +117,14 @@ def _grid_spec(quick: bool, workload: WorkloadSelection) -> GridSpec:
         )
     else:
         spec = GridSpec()
-    return workload.apply(spec)
+    return cluster.apply(workload.apply(spec))
 
 
-def _table1(quick: bool, engine: EngineOptions, workload: WorkloadSelection) -> str:
+def _table1(quick: bool, engine: EngineOptions, workload: WorkloadSelection, cluster: ClusterSelection) -> str:
     return run_table1(calls_per_function=20 if quick else 50).render()
 
 
-def _fig2(quick: bool, engine: EngineOptions, workload: WorkloadSelection) -> str:
+def _fig2(quick: bool, engine: EngineOptions, workload: WorkloadSelection, cluster: ClusterSelection) -> str:
     if quick:
         return run_fig2(
             memories_mb=(4096, 16384, 32768, 131072), intensities=(30, 120)
@@ -93,56 +132,87 @@ def _fig2(quick: bool, engine: EngineOptions, workload: WorkloadSelection) -> st
     return run_fig2().render()
 
 
-def _fig3(quick: bool, engine: EngineOptions, workload: WorkloadSelection) -> str:
-    return fig3_from_grid(
-        run_grid(_grid_spec(quick, workload), **engine.run_kwargs())
-    ).render()
+def _fig3(quick: bool, engine: EngineOptions, workload: WorkloadSelection, cluster: ClusterSelection) -> str:
+    spec = _grid_spec(quick, workload, cluster)
+    reject_cluster_sweep(spec, "fig3")  # before any simulation time
+    return fig3_from_grid(run_grid(spec, **engine.run_kwargs())).render()
 
 
-def _fig4(quick: bool, engine: EngineOptions, workload: WorkloadSelection) -> str:
-    return fig4_from_grid(
-        run_grid(_grid_spec(quick, workload), **engine.run_kwargs())
-    ).render()
+def _fig4(quick: bool, engine: EngineOptions, workload: WorkloadSelection, cluster: ClusterSelection) -> str:
+    spec = _grid_spec(quick, workload, cluster)
+    reject_cluster_sweep(spec, "fig4")  # before any simulation time
+    return fig4_from_grid(run_grid(spec, **engine.run_kwargs())).render()
 
 
-def _table2(quick: bool, engine: EngineOptions, workload: WorkloadSelection) -> str:
+def _table2(quick: bool, engine: EngineOptions, workload: WorkloadSelection, cluster: ClusterSelection) -> str:
     if quick:
-        spec = workload.apply(GridSpec(
+        spec = cluster.apply(workload.apply(GridSpec(
             cores=(5, 20), intensities=(30, 120),
             strategies=("baseline", "FIFO"), seeds=(1, 2),
-        ))
+        )))
     else:
-        spec = _grid_spec(quick, workload)
+        spec = _grid_spec(quick, workload, cluster)
+    reject_cluster_sweep(spec, "table2")  # before any simulation time
     return table2_from_grid(run_grid(spec, **engine.run_kwargs())).render()
 
 
-def _table3(quick: bool, engine: EngineOptions, workload: WorkloadSelection) -> str:
-    grid = run_grid(_grid_spec(quick, workload), **engine.run_kwargs())
+def _table3(quick: bool, engine: EngineOptions, workload: WorkloadSelection, cluster: ClusterSelection) -> str:
+    grid = run_grid(_grid_spec(quick, workload, cluster), **engine.run_kwargs())
     result = table3_from_grid(grid)
     return result.render() + "\n\n" + result.render_comparison()
 
 
-def _table4(quick: bool, engine: EngineOptions, workload: WorkloadSelection) -> str:
+def _table4(quick: bool, engine: EngineOptions, workload: WorkloadSelection, cluster: ClusterSelection) -> str:
     if quick:
-        spec = workload.apply(GridSpec(cores=(10,), intensities=(30,), seeds=(1, 2, 3)))
+        spec = cluster.apply(
+            workload.apply(GridSpec(cores=(10,), intensities=(30,), seeds=(1, 2, 3)))
+        )
     else:
-        spec = _grid_spec(quick, workload)
+        spec = _grid_spec(quick, workload, cluster)
     return table3_from_grid(run_grid(spec, **engine.run_kwargs()), per_seed=True).render()
 
 
-def _fig5(quick: bool, engine: EngineOptions, workload: WorkloadSelection) -> str:
+def _fig5(quick: bool, engine: EngineOptions, workload: WorkloadSelection, cluster: ClusterSelection) -> str:
     return run_fig5(seeds=(1,) if quick else (1, 2, 3, 4, 5)).render()
 
 
-def _fig6(quick: bool, engine: EngineOptions, workload: WorkloadSelection) -> str:
+def _fig6(quick: bool, engine: EngineOptions, workload: WorkloadSelection, cluster: ClusterSelection) -> str:
+    # fig6 is inherently a cluster sweep (over node counts); it honors the
+    # engine's jobs/cache/progress knobs and, of the cluster selection,
+    # exactly the balancer flavour.  Everything else (its own node counts,
+    # balancer params, autoscaling) is the artifact's protocol — reject
+    # rather than silently ignore.
     seeds = (1,) if quick else (1, 2, 3, 4, 5)
-    reports = [run_fig6(cores_per_node=18, seeds=seeds).render()]
+    unsupported = []
+    if cluster.nodes is not None:
+        unsupported.append("--nodes (fig6 sweeps 4/3/2/1 nodes by protocol)")
+    if cluster.balancer_params:
+        unsupported.append("--balancer-param")
+    if cluster.autoscale:
+        unsupported.append("--autoscale")
+    if unsupported:
+        raise ValueError(
+            f"fig6 does not honor {', '.join(unsupported)}; of the cluster "
+            f"overrides it accepts only a single --balancer"
+        )
+    balancer = "least-loaded"
+    if cluster.balancers is not None:
+        if len(cluster.balancers) != 1:
+            raise ValueError(
+                "fig6 sweeps node counts with a single balancer; give exactly "
+                "one --balancer"
+            )
+        balancer = cluster.balancers[0]
+    kwargs = engine.run_kwargs()
+    reports = [run_fig6(cores_per_node=18, seeds=seeds, balancer=balancer, **kwargs).render()]
     if not quick:
-        reports.append(run_fig6(cores_per_node=10, seeds=seeds).render())
+        reports.append(
+            run_fig6(cores_per_node=10, seeds=seeds, balancer=balancer, **kwargs).render()
+        )
     return "\n\n".join(reports)
 
 
-def _ablations(quick: bool, engine: EngineOptions, workload: WorkloadSelection) -> str:
+def _ablations(quick: bool, engine: EngineOptions, workload: WorkloadSelection, cluster: ClusterSelection) -> str:
     reports = [
         ablate_estimator_window().render(),
         ablate_busy_limit().render(),
@@ -154,7 +224,7 @@ def _ablations(quick: bool, engine: EngineOptions, workload: WorkloadSelection) 
 
 
 #: Experiment id -> (description, runner).
-EXPERIMENTS: Dict[str, tuple[str, Callable[[bool, EngineOptions, WorkloadSelection], str]]] = {
+EXPERIMENTS: Dict[str, tuple[str, Callable[[bool, EngineOptions, WorkloadSelection, ClusterSelection], str]]] = {
     "table1": ("Table I — idle-system SeBS function benchmark", _table1),
     "fig2": ("Fig. 2 — cold starts vs. memory and intensity", _fig2),
     "fig3": ("Fig. 3 — response-time boxes over the grid", _fig3),
@@ -189,15 +259,23 @@ def run_registered(
     progress: Optional[ProgressCallback] = None,
     scenario: Optional[str] = None,
     scenario_params: Union[Mapping[str, Any], Tuple[Tuple[str, Any], ...]] = (),
+    nodes: Optional[Sequence[int]] = None,
+    balancers: Optional[Sequence[str]] = None,
+    balancer_params: Union[Mapping[str, Any], Tuple[Tuple[str, Any], ...]] = (),
+    autoscale: bool = False,
 ) -> str:
     """Run a registered experiment and return its rendered report.
 
     ``jobs``, ``cache_dir`` and ``progress`` configure the parallel
-    execution engine for the grid-backed artifacts (fig3/fig4 and
-    tables 2–4).  ``scenario``/``scenario_params`` override those
+    execution engine for the engine-run artifacts (fig3/fig4, tables 2–4
+    and fig6).  ``scenario``/``scenario_params`` override the grid-backed
     artifacts' workload with any registered scenario (see
-    ``faas-sched scenarios``); ``None`` keeps the paper's protocol.  The
-    remaining artifacts ignore both sets of knobs.
+    ``faas-sched scenarios``); ``None`` keeps the paper's protocol.
+    ``nodes``/``balancers`` (plus ``balancer_params``/``autoscale``)
+    sweep the grid-backed artifacts over cluster topologies; fig6 — a
+    node-count sweep by construction — honors a single ``balancers``
+    entry.  The remaining artifacts reject the overrides rather than
+    silently ignoring them.
     """
     try:
         _, runner = EXPERIMENTS[experiment_id]
@@ -216,6 +294,22 @@ def run_registered(
             f"honor a scenario override; grid-backed artifacts: "
             f"{', '.join(sorted(GRID_BACKED))}"
         )
+    cluster = ClusterSelection(
+        nodes=None if nodes is None else tuple(nodes),
+        balancers=None if balancers is None else tuple(balancers),
+        balancer_params=(
+            tuple(balancer_params.items())
+            if isinstance(balancer_params, Mapping)
+            else tuple(balancer_params)
+        ),
+        autoscale=autoscale,
+    )
+    if not cluster.is_default and experiment_id not in GRID_BACKED | {"fig6"}:
+        raise ValueError(
+            f"artifact {experiment_id!r} runs a fixed topology and does not "
+            f"honor a cluster override; cluster-capable artifacts: "
+            f"{', '.join(sorted(GRID_BACKED | {'fig6'}))}"
+        )
     engine = EngineOptions(jobs=jobs, cache_dir=cache_dir, progress=progress)
     # A mapping is the natural programmatic spelling (ExperimentConfig
     # accepts it too); tuple() on a dict would keep only the keys.
@@ -224,4 +318,4 @@ def run_registered(
     else:
         params = tuple(scenario_params)
     workload = WorkloadSelection(scenario=scenario, params=params)
-    return runner(quick, engine, workload)
+    return runner(quick, engine, workload, cluster)

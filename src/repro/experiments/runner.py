@@ -1,17 +1,27 @@
-"""Experiment execution: warm-up → 60-second burst → drain (Sect. V-A)."""
+"""Experiment execution: warm-up → 60-second burst → drain (Sect. V-A).
+
+Single-node runs (the paper's Sects. V–VII protocol) and cluster runs
+(Sect. VIII and beyond) share one entry point: :func:`run_experiment`
+inspects ``config.cluster`` and either takes the exact historical
+single-node path or builds a fleet — per-node configurations, a load
+balancer, optionally a reactive autoscaler — and drives the same
+scenario through it.  Both paths are fully deterministic given the
+config, which is what lets the parallel engine cache and shard them.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Union
 
+from repro.cluster.autoscaler import ReactiveAutoscaler
 from repro.cluster.controller import make_balancer
-from repro.cluster.network import NetworkModel
 from repro.cluster.platform import FaaSPlatform
 from repro.experiments.config import ExperimentConfig, MultiNodeConfig
 from repro.metrics.records import CallRecord
 from repro.metrics.stats import SummaryStats, summarize
 from repro.node.baseline import BaselineInvoker
+from repro.node.config import NodeConfig
 from repro.node.invoker import Invoker
 from repro.sim.core import Environment
 from repro.sim.rng import RngRegistry
@@ -38,6 +48,10 @@ class ExperimentResult:
     records: List[CallRecord]
     #: Per-invoker diagnostics.
     node_stats: List[Dict[str, float]]
+    #: Cluster routing diagnostics (balancer name, picks, spills, spill
+    #: rate, autoscaler scale events); ``None`` on the classic
+    #: single-node path, where no routing decisions exist.
+    balancer_stats: Optional[Dict[str, Any]] = None
 
     def summary(self) -> SummaryStats:
         return summarize(self.records)
@@ -62,6 +76,13 @@ class ExperimentResult:
     def cold_starts(self) -> int:
         return sum(1 for r in self.records if r.cold_start)
 
+    def cluster_summary(self):
+        """Per-node breakdown (utilization, imbalance, spill rate); see
+        :func:`repro.metrics.cluster.cluster_breakdown`."""
+        from repro.metrics.cluster import cluster_breakdown
+
+        return cluster_breakdown(self)
+
 
 def _node_stats(invoker: Union[Invoker, BaselineInvoker]) -> Dict[str, float]:
     return {
@@ -81,9 +102,12 @@ def _node_stats(invoker: Union[Invoker, BaselineInvoker]) -> Dict[str, float]:
 
 
 def _build_invoker(
-    env: Environment, config: AnyConfig, name: str
+    env: Environment,
+    config: AnyConfig,
+    name: str,
+    node_config: Optional[NodeConfig] = None,
 ) -> Union[Invoker, BaselineInvoker]:
-    node_config = config.node_config()
+    node_config = node_config if node_config is not None else config.node_config()
     if config.is_baseline:
         return BaselineInvoker(env, node_config, name=name)
     return Invoker(env, node_config, policy=config.policy, name=name)
@@ -107,17 +131,7 @@ def _build_scenario(config: ExperimentConfig, rngs: RngRegistry) -> BurstScenari
     )
 
 
-def run_experiment(config: ExperimentConfig) -> ExperimentResult:
-    """Run one single-node experiment end to end."""
-    env = Environment()
-    rngs = RngRegistry(config.seed)
-    catalog = sebs_catalog()
-
-    invoker = _build_invoker(env, config, name=f"{config.policy}-node")
-    if config.warmup:
-        invoker.warm_up(catalog)
-
-    scenario = _build_scenario(config, rngs)
+def _require_requests(config: ExperimentConfig, scenario: BurstScenario) -> None:
     if len(scenario) == 0:
         # Stochastic scenarios (poisson/diurnal/trace with tiny rates, or a
         # replay of an all-zero trace) can legitimately draw zero arrivals;
@@ -128,9 +142,99 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
             f"{config.label()} (params {dict(config.scenario_params)}); "
             f"increase the rate/counts or the window"
         )
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Run one experiment end to end.
+
+    The default (single-node) cluster topology takes the exact historical
+    code path; any other :class:`~repro.cluster.spec.ClusterSpec` routes
+    through :func:`_run_cluster_experiment`.
+    """
+    if not config.cluster.is_default:
+        return _run_cluster_experiment(config)
+    env = Environment()
+    rngs = RngRegistry(config.seed)
+    catalog = sebs_catalog()
+
+    invoker = _build_invoker(env, config, name=f"{config.policy}-node")
+    if config.warmup:
+        invoker.warm_up(catalog)
+
+    scenario = _build_scenario(config, rngs)
+    _require_requests(config, scenario)
     platform = FaaSPlatform(env, [invoker])
     records = platform.run_scenario(scenario)
     return ExperimentResult(config=config, records=records, node_stats=[_node_stats(invoker)])
+
+
+def _run_cluster_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Run one experiment on a multi-node (or otherwise non-default)
+    cluster topology: heterogeneous fleet, named balancer, optional
+    reactive autoscaler.
+
+    Determinism contract: the scenario draws from the same ``"scenario"``
+    RNG stream as the single-node path, balancer sampling PRNGs are
+    seeded from ``config.seed``, and the autoscaler is threshold-driven —
+    so results are bit-identical across the serial and parallel engines
+    for every cluster configuration.
+    """
+    env = Environment()
+    rngs = RngRegistry(config.seed)
+    catalog = sebs_catalog()
+    cluster = config.cluster
+
+    base_node = config.node_config()
+    invokers = [
+        _build_invoker(
+            env, config, name=f"{config.policy}-node-{i}", node_config=node_config
+        )
+        for i, node_config in enumerate(cluster.node_configs(base_node))
+    ]
+    if config.warmup:
+        for invoker in invokers:
+            invoker.warm_up(catalog)
+
+    scenario = _build_scenario(config, rngs)
+    _require_requests(config, scenario)
+
+    balancer_kwargs = cluster.balancer_kwargs()
+    balancer = make_balancer(
+        cluster.balancer,
+        invokers,
+        # An explicit `seed` balancer param pins the sampling PRNG; the
+        # experiment's root seed drives it otherwise.
+        seed=balancer_kwargs.pop("seed", config.seed),
+        **balancer_kwargs,
+    )
+    autoscaler_config = cluster.autoscaler_config()
+    autoscaler: Optional[ReactiveAutoscaler] = None
+    if autoscaler_config is not None:
+        # The autoscaler appends to the same (live) list the balancer and
+        # platform hold, so scaled-out nodes become routable immediately.
+        autoscaler = ReactiveAutoscaler(
+            env, invokers, base_node, config=autoscaler_config
+        )
+
+    platform = FaaSPlatform(env, invokers, balancer=balancer)
+    records = platform.run_scenario(scenario)
+    if autoscaler is not None:
+        autoscaler.stop()
+
+    balancer_stats: Dict[str, Any] = {
+        "balancer": cluster.balancer,
+        **balancer.stats.as_dict(),
+    }
+    if autoscaler is not None:
+        balancer_stats["scale_events"] = [
+            [time, size] for time, size in autoscaler.scale_events
+        ]
+    return ExperimentResult(
+        config=config,
+        records=records,
+        node_stats=[_node_stats(invoker) for invoker in invokers],
+        balancer_stats=balancer_stats,
+    )
 
 
 def run_multi_node_experiment(config: MultiNodeConfig) -> ExperimentResult:

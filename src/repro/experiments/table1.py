@@ -22,7 +22,7 @@ from repro.node.invoker import Invoker
 from repro.sim.core import Environment
 from repro.sim.rng import RngRegistry
 from repro.workload.functions import sebs_catalog
-from repro.workload.generator import BurstScenario, Request
+from repro.workload.generator import Request
 
 __all__ = ["run_table1", "Table1Result"]
 

@@ -1,6 +1,7 @@
 """Metrics: per-call records, response-time/stretch statistics, reports."""
 
 from repro.metrics.ascii import render_boxplot
+from repro.metrics.cluster import ClusterBreakdown, NodeUsage, cluster_breakdown
 from repro.metrics.records import CallRecord
 from repro.metrics.stats import (
     BoxStats,
@@ -20,6 +21,9 @@ from repro.metrics.serialize import (
 __all__ = [
     "BoxStats",
     "CallRecord",
+    "ClusterBreakdown",
+    "NodeUsage",
+    "cluster_breakdown",
     "SummaryStats",
     "box_stats",
     "format_table",

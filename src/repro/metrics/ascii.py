@@ -9,7 +9,7 @@ panels included).
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.metrics.stats import BoxStats
 

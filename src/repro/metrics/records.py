@@ -3,11 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.node.invoker import NodeCallInfo
-    from repro.workload.generator import Request
 
 __all__ = ["CallRecord"]
 

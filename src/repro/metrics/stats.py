@@ -7,8 +7,8 @@ The paper reports, per (cores, intensity, strategy): average, 50th, 75th,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
 
 import numpy as np
 

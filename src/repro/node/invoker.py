@@ -11,7 +11,7 @@ Differences from the stock OpenWhisk invoker (paper Sect. IV):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional
 
 from repro.node.container import ContainerState

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import heapq
 from itertools import count
-from typing import Any, Generic, Iterator, List, Optional, Tuple, TypeVar
+from typing import Generic, Iterator, List, Optional, Tuple, TypeVar
 
 __all__ = ["StablePriorityQueue"]
 

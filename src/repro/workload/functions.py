@@ -22,7 +22,7 @@ vanish under its container-management policy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.workload.distributions import SplitLogNormal, fit_split_lognormal

@@ -8,12 +8,12 @@ no further requests arrive and the system drains.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
 
 import numpy as np
 
-from repro.workload.functions import FunctionSpec, sebs_catalog
+from repro.workload.functions import FunctionSpec
 
 __all__ = [
     "Request",

@@ -1,0 +1,147 @@
+"""Tests for ClusterSpec: validation, canonical form, JSON round-trip."""
+
+import pytest
+
+from repro.cluster.autoscaler import AutoscalerConfig
+from repro.cluster.spec import DEFAULT_CLUSTER, ClusterSpec
+
+
+class TestValidation:
+    def test_default_is_single_node(self):
+        spec = ClusterSpec()
+        assert spec.nodes == 1
+        assert spec.balancer == "least-loaded"
+        assert spec.is_default
+        assert spec == DEFAULT_CLUSTER
+
+    def test_nodes_must_be_positive(self):
+        with pytest.raises(ValueError, match="nodes"):
+            ClusterSpec(nodes=0)
+
+    def test_unknown_balancer_rejected(self):
+        with pytest.raises(ValueError, match="available"):
+            ClusterSpec(balancer="magic")
+
+    def test_unknown_balancer_param_rejected(self):
+        with pytest.raises(ValueError, match="valid parameters"):
+            ClusterSpec(balancer="power-of-d", balancer_params={"dd": 3})
+
+    def test_bad_balancer_value_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(balancer="hash-overflow", balancer_params={"capacity_factor": -1})
+
+    def test_balancer_defaults_merged_into_params(self):
+        spec = ClusterSpec(balancer="power-of-d")
+        assert dict(spec.balancer_params) == {"d": 2}
+        explicit = ClusterSpec(balancer="power-of-d", balancer_params={"d": 2})
+        assert spec == explicit  # one canonical form per topology
+
+    def test_node_overrides_length_must_match_nodes(self):
+        with pytest.raises(ValueError, match="one entry per node"):
+            ClusterSpec(nodes=3, node_overrides=({"cores": 2},))
+
+    def test_node_overrides_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="NodeConfig field"):
+            ClusterSpec(nodes=1, node_overrides=({"coers": 2},))
+
+    def test_autoscaler_unknown_param_rejected(self):
+        with pytest.raises(ValueError, match="autoscaler parameter"):
+            ClusterSpec(autoscaler={"max_nodez": 3})
+
+    def test_autoscaler_bad_value_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(autoscaler={"max_nodes": 0})
+
+    def test_autoscaler_defaults_merged(self):
+        spec = ClusterSpec(autoscaler=())
+        stored = dict(spec.autoscaler)
+        assert stored["max_nodes"] == AutoscalerConfig().max_nodes
+        assert spec.autoscaler_config() == AutoscalerConfig()
+
+    def test_autoscaler_none_means_disabled(self):
+        assert ClusterSpec().autoscaler_config() is None
+
+
+class TestCanonicalForm:
+    def test_mapping_params_normalised_and_sorted(self):
+        a = ClusterSpec(balancer="power-of-d", balancer_params={"seed": 5, "d": 3})
+        b = ClusterSpec(balancer="power-of-d", balancer_params=(("d", 3), ("seed", 5)))
+        assert a == b
+        assert a.balancer_params == (("d", 3), ("seed", 5))
+
+    def test_hashable(self):
+        assert hash(ClusterSpec(nodes=2)) == hash(ClusterSpec(nodes=2))
+        assert {ClusterSpec(nodes=2), ClusterSpec(nodes=2)} == {ClusterSpec(nodes=2)}
+
+    def test_unsupported_param_value_rejected(self):
+        with pytest.raises(ValueError, match="unsupported value type"):
+            ClusterSpec(balancer="power-of-d", balancer_params={"d": object()})
+
+    def test_node_configs_homogeneous(self):
+        from repro.node.config import NodeConfig
+
+        base = NodeConfig(cores=4)
+        assert ClusterSpec(nodes=3).node_configs(base) == [base] * 3
+
+    def test_node_configs_heterogeneous(self):
+        from repro.node.config import NodeConfig
+
+        base = NodeConfig(cores=4, memory_mb=16384)
+        spec = ClusterSpec(
+            nodes=2, node_overrides=({"cores": 2}, {"cores": 8, "memory_mb": 32768})
+        )
+        first, second = spec.node_configs(base)
+        assert (first.cores, first.memory_mb) == (2, 16384)
+        assert (second.cores, second.memory_mb) == (8, 32768)
+
+    def test_label_suffix(self):
+        assert ClusterSpec().label_suffix() == ""
+        assert "nodes=3" in ClusterSpec(nodes=3).label_suffix()
+        suffix = ClusterSpec(nodes=2, balancer="locality", autoscaler=()).label_suffix()
+        assert "balancer=locality" in suffix and "autoscale" in suffix
+
+
+class TestJsonRoundTrip:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            ClusterSpec(),
+            ClusterSpec(nodes=4, balancer="power-of-d", balancer_params={"d": 3}),
+            ClusterSpec(nodes=2, node_overrides=({"cores": 2}, {"cores": 8})),
+            ClusterSpec(autoscaler={"max_nodes": 6, "provisioning_delay_s": 10.0}),
+        ],
+    )
+    def test_round_trip(self, spec):
+        import json
+
+        payload = json.loads(json.dumps(spec.to_dict()))
+        assert ClusterSpec.from_dict(payload) == spec
+
+
+class TestParamTypeValidation:
+    """Wrong-typed balancer params must fail as ValueError at spec
+    construction, never as a TypeError deep inside a run."""
+
+    def test_string_valued_d_rejected(self):
+        with pytest.raises(ValueError, match="d"):
+            ClusterSpec(balancer="power-of-d", balancer_params={"d": "3"})
+
+    def test_non_integral_d_rejected(self):
+        # d=2.5 truncating to 2 would let distinct fingerprints simulate
+        # identically.
+        with pytest.raises(ValueError, match="integer"):
+            ClusterSpec(balancer="power-of-d", balancer_params={"d": 2.5})
+
+    def test_bool_d_rejected(self):
+        with pytest.raises(ValueError, match="integer"):
+            ClusterSpec(balancer="power-of-d", balancer_params={"d": True})
+
+    def test_string_capacity_factor_rejected(self):
+        with pytest.raises(ValueError, match="capacity_factor"):
+            ClusterSpec(
+                balancer="hash-overflow", balancer_params={"capacity_factor": "big"}
+            )
+
+    def test_string_seed_rejected(self):
+        with pytest.raises(ValueError, match="seed"):
+            ClusterSpec(balancer="power-of-d", balancer_params={"seed": "abc"})

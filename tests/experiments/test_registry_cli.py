@@ -210,3 +210,87 @@ class TestScenarioCli:
             scenario_params={"zipf_exponent": 0.5},
         )
         assert "scenario=poisson zipf_exponent=0.5" in report
+
+
+class TestClusterCli:
+    """The cluster dimension through the CLI: --nodes / --balancer /
+    --balancer-param / --autoscale on simulate, grid, and run."""
+
+    def test_simulate_multi_node_prints_breakdown(self, capsys):
+        code = main([
+            "simulate", "--cores", "4", "--intensity", "10", "--policy", "FC",
+            "--nodes", "3", "--balancer", "power-of-d",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "nodes=3" in out and "balancer=power-of-d" in out
+        assert "Cluster breakdown" in out
+        assert "FC-node-2" in out
+
+    def test_simulate_single_node_keeps_classic_output(self, capsys):
+        assert main(["simulate", "--cores", "4", "--intensity", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "cold starts" in out and "Cluster breakdown" not in out
+
+    def test_grid_sweeps_nodes_and_balancers(self, capsys, tmp_path):
+        args = [
+            "grid", "--cores", "4", "--intensities", "10",
+            "--strategies", "FC", "--seeds", "1", "--jobs", "2",
+            "--nodes", "1", "3", "--balancer", "least-loaded", "power-of-d",
+            "--cache-dir", str(tmp_path / "cache"), "--no-progress",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "nodes=3 balancer=power-of-d" in out
+        assert "engine: 4 runs (4 computed" in out
+        # Cached re-run computes nothing.
+        assert main(args) == 0
+        assert "4 from cache" in capsys.readouterr().out
+
+    def test_grid_single_topology_tagged_in_title(self, capsys):
+        assert main([
+            "grid", "--cores", "4", "--intensities", "10",
+            "--strategies", "FIFO", "--seeds", "1",
+            "--nodes", "2", "--no-progress",
+        ]) == 0
+        assert "[cluster: nodes=2" in capsys.readouterr().out
+
+    def test_grid_bad_balancer_param_clean_error(self, capsys):
+        assert main([
+            "grid", "--cores", "4", "--intensities", "10",
+            "--strategies", "FIFO", "--seeds", "1",
+            "--nodes", "2", "--balancer", "power-of-d",
+            "--balancer-param", "dd=3", "--no-progress",
+        ]) == 2
+        assert "not declared by any swept balancer" in capsys.readouterr().err
+
+    def test_parser_rejects_unknown_balancer(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--balancer", "magic"])
+
+    def test_simulate_autoscale_flag(self, capsys):
+        code = main([
+            "simulate", "--cores", "4", "--intensity", "60",
+            "--policy", "baseline", "--nodes", "1", "--autoscale",
+        ])
+        assert code == 0
+        assert "Cluster breakdown" in capsys.readouterr().out
+
+    def test_run_fig6_honors_balancer_override(self, capsys):
+        assert main([
+            "run", "fig6", "--balancer", "least-loaded", "--no-progress",
+        ]) == 0
+        assert "multi-node response times" in capsys.readouterr().out
+
+    def test_run_cluster_override_rejected_for_fixed_topology(self, capsys):
+        assert main(["run", "table1", "--nodes", "3"]) == 2
+        assert "fixed topology" in capsys.readouterr().err
+
+    def test_run_registered_cluster_override(self):
+        report = run_registered(
+            "table4",
+            quick=True,
+            nodes=(2,),
+            balancers=("power-of-d",),
+        )
+        assert "[cluster: nodes=2 balancer=power-of-d]" in report

@@ -4,7 +4,6 @@ benchmark suite; here we pin that the cheap artifacts produce coherent
 reports.
 """
 
-import pytest
 
 from repro.experiments.registry import run_registered
 

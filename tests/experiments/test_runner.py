@@ -1,6 +1,5 @@
 """Integration tests for the experiment runner."""
 
-import pytest
 
 from repro.experiments.config import ExperimentConfig, MultiNodeConfig
 from repro.experiments.runner import (

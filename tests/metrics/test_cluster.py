@@ -1,0 +1,133 @@
+"""Tests for the per-node (cluster) metric breakdown."""
+
+import pytest
+
+from repro.cluster.spec import ClusterSpec
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.metrics.cluster import cluster_breakdown
+from repro.metrics.records import CallRecord
+
+
+def record(rid, invoker, response_time=2.0):
+    return CallRecord(
+        rid=rid,
+        function_name="f",
+        invoker=invoker,
+        release_time=0.0,
+        received_at=0.0,
+        dispatched_at=0.0,
+        exec_start=0.0,
+        exec_end=1.0,
+        completed_at=response_time,
+        service_time=1.0,
+        reference_response_time=1.0,
+        cold_start=False,
+        start_kind="hot",
+    )
+
+
+def result_with(records, node_stats, balancer_stats=None):
+    config = ExperimentConfig(cores=4, intensity=10)
+    return ExperimentResult(
+        config=config,
+        records=records,
+        node_stats=node_stats,
+        balancer_stats=balancer_stats,
+    )
+
+
+class TestBreakdownMath:
+    def test_counts_shares_and_means(self):
+        records = [record(0, "a"), record(1, "a", 4.0), record(2, "b")]
+        breakdown = cluster_breakdown(
+            result_with(
+                records,
+                [
+                    {"name": "a", "cpu_utilization": 0.5, "cold_starts": 1},
+                    {"name": "b", "cpu_utilization": 0.25, "cold_starts": 0},
+                ],
+            )
+        )
+        a, b = breakdown.nodes
+        assert (a.calls, b.calls) == (2, 1)
+        assert a.share == pytest.approx(2 / 3)
+        assert a.mean_response_time == pytest.approx(3.0)
+        assert b.mean_response_time == pytest.approx(2.0)
+        assert a.cpu_utilization == 0.5
+        assert a.cold_starts == 1
+
+    def test_imbalance_is_max_over_mean(self):
+        records = [record(i, "a") for i in range(3)] + [record(3, "b")]
+        breakdown = cluster_breakdown(
+            result_with(records, [{"name": "a"}, {"name": "b"}])
+        )
+        assert breakdown.imbalance == pytest.approx(3 / 2)
+
+    def test_perfectly_even_spread_has_imbalance_one(self):
+        records = [record(0, "a"), record(1, "b")]
+        breakdown = cluster_breakdown(
+            result_with(records, [{"name": "a"}, {"name": "b"}])
+        )
+        assert breakdown.imbalance == pytest.approx(1.0)
+
+    def test_idle_node_appears_with_zero_calls(self):
+        records = [record(0, "a")]
+        breakdown = cluster_breakdown(
+            result_with(records, [{"name": "a"}, {"name": "scaled-1"}])
+        )
+        assert breakdown.nodes[1].calls == 0
+        assert breakdown.nodes[1].share == 0.0
+        assert breakdown.imbalance == pytest.approx(2.0)
+
+    def test_unknown_invoker_in_records_is_an_error(self):
+        with pytest.raises(ValueError, match="missing from node_stats"):
+            cluster_breakdown(result_with([record(0, "ghost")], [{"name": "a"}]))
+
+    def test_balancer_stats_flow_through(self):
+        breakdown = cluster_breakdown(
+            result_with(
+                [record(0, "a")],
+                [{"name": "a"}],
+                balancer_stats={
+                    "balancer": "locality",
+                    "picks": 10,
+                    "spills": 3,
+                    "spill_rate": 0.3,
+                    "scale_events": [[12.5, 2]],
+                },
+            )
+        )
+        assert breakdown.balancer == "locality"
+        assert breakdown.spill_rate == pytest.approx(0.3)
+        assert breakdown.scale_events == [[12.5, 2]]
+
+    def test_single_node_result_defaults(self):
+        breakdown = cluster_breakdown(result_with([record(0, "a")], [{"name": "a"}]))
+        assert breakdown.balancer is None
+        assert breakdown.spill_rate == 0.0
+        assert breakdown.scale_events == []
+
+
+class TestRender:
+    def test_render_lists_every_node(self):
+        records = [record(0, "a"), record(1, "b")]
+        text = cluster_breakdown(
+            result_with(
+                records,
+                [{"name": "a"}, {"name": "b"}],
+                balancer_stats={"balancer": "power-of-d", "spill_rate": 0.0},
+            )
+        ).render()
+        assert "a" in text and "b" in text
+        assert "power-of-d" in text
+        assert "imbalance" in text
+
+    def test_real_cluster_run_renders(self):
+        result = run_experiment(
+            ExperimentConfig(
+                cores=4, intensity=10, policy="FC", cluster=ClusterSpec(nodes=2)
+            )
+        )
+        text = result.cluster_summary().render()
+        assert "FC-node-0" in text and "FC-node-1" in text

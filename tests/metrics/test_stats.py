@@ -1,11 +1,10 @@
 """Tests for summary statistics and box stats."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.metrics.stats import BoxStats, box_stats, percentile, summarize
+from repro.metrics.stats import box_stats, percentile, summarize
 from tests.metrics.test_records import record
 
 

@@ -1,6 +1,5 @@
 """Tests for the stock OpenWhisk baseline invoker."""
 
-import pytest
 
 from repro.node.baseline import BaselineInvoker
 from repro.node.config import NodeConfig

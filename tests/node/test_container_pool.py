@@ -2,11 +2,10 @@
 
 import pytest
 
-from repro.node.container import Container, ContainerState
+from repro.node.container import ContainerState
 from repro.node.docker import DockerDaemon
 from repro.node.memory import MemoryPool
 from repro.node.pool import ContainerPool
-from repro.workload.functions import catalog_by_name
 
 
 def make_pool(env, config, memory_mb=None, manage_pause=True):

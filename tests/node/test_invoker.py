@@ -4,9 +4,7 @@ import pytest
 
 from repro.node.config import NodeConfig
 from repro.node.invoker import Invoker
-from repro.sim.core import Environment
-from repro.workload.functions import catalog_by_name, sebs_catalog
-from repro.workload.generator import Request
+from repro.workload.functions import sebs_catalog
 
 from tests.node.conftest import make_request
 

@@ -28,7 +28,6 @@ class TestClairvoyant:
         from repro.node.invoker import Invoker
         from repro.node.config import NodeConfig
         from repro.sim.core import Environment
-        from repro.sim.rng import RngRegistry
         from repro.workload.functions import sebs_catalog
         from repro.workload.scenarios import uniform_burst
         import numpy as np

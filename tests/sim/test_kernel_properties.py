@@ -1,6 +1,5 @@
 """Property-based tests on DES kernel invariants."""
 
-import heapq
 
 import pytest
 from hypothesis import given, settings

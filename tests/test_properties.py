@@ -5,7 +5,6 @@ conservation (every request answered exactly once), causality (timeline
 monotonicity), and the no-oversubscription guarantee of our invoker.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
