@@ -34,14 +34,20 @@ def test_ablation_busy_limit(run_once):
 
 
 def test_ablation_fc_horizon(run_once, full_protocol):
-    result = run_once(ablate_fc_horizon, horizons=(15.0, 60.0) if not full_protocol else (5.0, 15.0, 60.0, 300.0))
+    result = run_once(
+        ablate_fc_horizon,
+        horizons=(15.0, 60.0) if not full_protocol else (5.0, 15.0, 60.0, 300.0),
+    )
     print()
     print(result.render())
     assert len(result.rows) >= 2
 
 
 def test_ablation_cold_start_cost(run_once, full_protocol):
-    result = run_once(ablate_cold_start_cost, create_ops=(0.1, 0.5) if not full_protocol else (0.1, 0.25, 0.5, 1.0))
+    result = run_once(
+        ablate_cold_start_cost,
+        create_ops=(0.1, 0.5) if not full_protocol else (0.1, 0.25, 0.5, 1.0),
+    )
     print()
     print(result.render())
     means = [row[1] for row in result.rows]

@@ -44,6 +44,13 @@ _EXPORTS = {
     "RecentExpectedCompletionTime": "repro.scheduling.policies",
     "FairChoice": "repro.scheduling.policies",
     "make_policy": "repro.scheduling.policies",
+    "PolicyParam": "repro.scheduling.registry",
+    "PolicyRegistry": "repro.scheduling.registry",
+    "PolicySpec": "repro.scheduling.registry",
+    "register_policy": "repro.scheduling.registry",
+    "build_policy": "repro.scheduling.registry",
+    "get_policy": "repro.scheduling.registry",
+    "policy_names": "repro.scheduling.registry",
     "RuntimeEstimator": "repro.scheduling.estimator",
     "ClusterSpec": "repro.cluster.spec",
     "AutoscalerConfig": "repro.cluster.autoscaler",
@@ -114,6 +121,15 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         SchedulingPolicy,
         ShortestExpectedProcessingTime,
         make_policy,
+    )
+    from repro.scheduling.registry import (
+        PolicyParam,
+        PolicyRegistry,
+        PolicySpec,
+        build_policy,
+        get_policy,
+        policy_names,
+        register_policy,
     )
     from repro.workload.functions import FunctionSpec, sebs_catalog
     from repro.workload.generator import BurstScenario, requests_for_intensity

@@ -2,10 +2,12 @@
 
 Examples
 --------
-List the reproducible artifacts, and the registered workload scenarios::
+List the reproducible artifacts, the registered workload scenarios, and
+the registered scheduling policies::
 
     faas-sched list
     faas-sched scenarios
+    faas-sched policies
 
 Reproduce an artifact (scaled-down)::
 
@@ -24,6 +26,13 @@ Run the experiment grid directly, selecting a slice and a scenario::
 
     faas-sched grid --jobs 4 --cores 10 20 --intensities 30 60 --seeds 1 2
     faas-sched grid --scenario diurnal --scenario-param amplitude=0.9
+
+Sweep registered scheduling policies — including parameterized ones —
+through the same grid (the policy name and its parameters are part of
+the result-cache fingerprint)::
+
+    faas-sched grid --strategies SEPT SEPT-EMA ORACLE-SPT --policy-param window=5
+    faas-sched run table3 --policies FC FC-HYBRID --policy-param deadline_weight=0.8
 
 Sweep the cluster dimension — node counts × balancer flavours — through
 the same grid engine (cached and parallelized like any other cell)::
@@ -48,7 +57,7 @@ from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.cluster.controller import balancer_names
 from repro.cluster.spec import ClusterSpec
-from repro.experiments.config import ExperimentConfig
+from repro.experiments.config import BASELINE, ExperimentConfig
 from repro.experiments.grid import GridSpec, run_grid
 from repro.experiments.parallel import ResultCache, WorkerError, progress_printer
 from repro.experiments.registry import EXPERIMENTS, run_registered
@@ -56,11 +65,16 @@ from repro.experiments.runner import run_experiment
 from repro.experiments.artifacts import table3_from_grid
 from repro.metrics.cluster import cluster_breakdown
 from repro.metrics.report import render_summary_table
+from repro.scheduling.registry import get_policy, policy_names
 from repro.workload.registry import get_scenario, scenario_names
 
 __all__ = ["main", "build_parser"]
 
-_POLICY_CHOICES = ["baseline", "FIFO", "SEPT", "EECT", "RECT", "FC"]
+
+def _policy_choices() -> List[str]:
+    """Strategy names accepted by --policy/--strategies/--policies: the
+    stock invoker plus every registered scheduling policy."""
+    return [BASELINE] + policy_names()
 
 
 def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
@@ -147,6 +161,26 @@ def _parse_balancer_params(pairs: Sequence[str]) -> Tuple[Tuple[str, Any], ...]:
     return _parse_kv_params(pairs, "--balancer-param")
 
 
+def _parse_policy_params(pairs: Sequence[str]) -> Tuple[Tuple[str, Any], ...]:
+    return _parse_kv_params(pairs, "--policy-param")
+
+
+def _add_policy_param_argument(parser: argparse.ArgumentParser) -> None:
+    """``--policy-param`` shared by run/grid/simulate."""
+    parser.add_argument(
+        "--policy-param",
+        action="append",
+        default=[],
+        metavar="K=V",
+        help=(
+            "scheduling-policy parameter as key=value (repeatable); values "
+            "are parsed as JSON, falling back to strings; reaches every "
+            "selected policy that declares the parameter "
+            "(e.g. --policy-param alpha=0.5)"
+        ),
+    )
+
+
 def _add_cluster_arguments(
     parser: argparse.ArgumentParser, sweep: bool
 ) -> None:
@@ -213,6 +247,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="list registered workload scenarios and their parameters",
     )
 
+    sub.add_parser(
+        "policies",
+        help="list registered scheduling policies and their parameters",
+    )
+
     run = sub.add_parser("run", help="reproduce a paper artifact")
     run.add_argument("experiment", choices=sorted(EXPERIMENTS), help="artifact id")
     run.add_argument(
@@ -220,9 +259,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the paper's full protocol (all seeds/sweeps); slower",
     )
+    run.add_argument(
+        "--policies",
+        nargs="+",
+        default=None,
+        choices=_policy_choices(),
+        metavar="P",
+        help=(
+            "override the strategy set of a grid-backed artifact (see "
+            "'faas-sched policies'); default: each artifact's own strategies"
+        ),
+    )
     _add_engine_arguments(run)
     _add_scenario_arguments(run)
     _add_cluster_arguments(run, sweep=True)
+    _add_policy_param_argument(run)
 
     grid = sub.add_parser(
         "grid",
@@ -235,7 +286,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     grid.add_argument("--cores", type=int, nargs="+", metavar="C")
     grid.add_argument("--intensities", type=int, nargs="+", metavar="V")
-    grid.add_argument("--strategies", nargs="+", choices=_POLICY_CHOICES, metavar="S")
+    grid.add_argument("--strategies", nargs="+", choices=_policy_choices(), metavar="S")
     grid.add_argument("--seeds", type=int, nargs="+", metavar="K")
     grid.add_argument(
         "--per-seed",
@@ -245,15 +296,17 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_arguments(grid)
     _add_scenario_arguments(grid, default="uniform")
     _add_cluster_arguments(grid, sweep=True)
+    _add_policy_param_argument(grid)
 
     sim = sub.add_parser("simulate", help="run one ad-hoc single-node experiment")
     sim.add_argument("--cores", type=int, default=10)
     sim.add_argument("--intensity", type=int, default=30)
-    sim.add_argument("--policy", default="FIFO", choices=_POLICY_CHOICES)
+    sim.add_argument("--policy", default="FIFO", choices=_policy_choices())
     sim.add_argument("--seed", type=int, default=1)
     sim.add_argument("--memory-mb", type=int, default=32768)
     _add_scenario_arguments(sim, default="uniform")
     _add_cluster_arguments(sim, sweep=False)
+    _add_policy_param_argument(sim)
     return parser
 
 
@@ -279,7 +332,32 @@ def _grid_spec_from_args(args: argparse.Namespace) -> GridSpec:
         overrides["balancer_params"] = _parse_balancer_params(args.balancer_param)
     if args.autoscale:
         overrides["autoscale"] = True
+    if args.policy_param:
+        overrides["policy_params"] = _parse_policy_params(args.policy_param)
     return replace(spec, **overrides) if overrides else spec
+
+
+def _render_policies() -> str:
+    """The ``faas-sched policies`` listing, straight from the registry."""
+    lines = []
+    for name in policy_names():
+        spec = get_policy(name)
+        traits = [spec.paper_section]
+        if spec.starvation_free:
+            traits.append("starvation-free")
+        lines.append(f"{name}  [{', '.join(traits)}]")
+        lines.append(f"    {spec.description}")
+        for param in spec.params:
+            default = "(required)" if param.required else f"default: {param.default!r}"
+            lines.append(f"    --policy-param {param.name}=...  {default}")
+            if param.doc:
+                lines.append(f"        {param.doc}")
+    lines.append("")
+    lines.append(
+        "run one with: faas-sched simulate --policy NAME "
+        "[--policy-param K=V ...]; 'baseline' selects the stock invoker"
+    )
+    return "\n".join(lines)
 
 
 def _render_scenarios() -> str:
@@ -313,6 +391,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "scenarios":
         print(_render_scenarios())
+        return 0
+
+    if args.command == "policies":
+        print(_render_policies())
         return 0
 
     if getattr(args, "scenario", None) is not None:
@@ -362,6 +444,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 balancers=args.balancer,
                 balancer_params=_parse_balancer_params(args.balancer_param),
                 autoscale=args.autoscale,
+                policies=args.policies,
+                policy_params=_parse_policy_params(args.policy_param),
             )
         except (ValueError, OSError, WorkerError) as exc:
             # With --jobs > 1 the same failures surface as WorkerError;
@@ -382,8 +466,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 progress=None if args.no_progress else progress_printer(),
             )
         except (ValueError, OSError, WorkerError) as exc:
-            # e.g. an empty stochastic scenario or an unreadable replay
-            # CSV — wrapped in WorkerError when --jobs > 1.
+            # e.g. an empty stochastic scenario, an unreadable replay
+            # CSV, or a non-numeric policy parameter (the registry's
+            # validators raise ValueError) — wrapped in WorkerError when
+            # --jobs > 1.
             print(f"error: {exc}", file=sys.stderr)
             return 2
         print(table3_from_grid(grid, per_seed=args.per_seed).render())
@@ -410,6 +496,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 memory_mb=args.memory_mb,
                 scenario=args.scenario,
                 scenario_params=_parse_scenario_params(args.scenario_param),
+                policy_params=_parse_policy_params(args.policy_param),
                 cluster=ClusterSpec(
                     nodes=args.nodes if args.nodes is not None else 1,
                     balancer=args.balancer if args.balancer is not None else "least-loaded",

@@ -16,11 +16,13 @@ under the same burst.  See ``examples``/benchmarks ``ablations`` usage.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, List, Optional, Union
 
 from repro.node.baseline import BaselineInvoker
 from repro.node.invoker import Invoker
+from repro.scheduling.estimator import RuntimeEstimator
 from repro.workload.functions import sebs_catalog
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -111,13 +113,33 @@ class ReactiveAutoscaler:
         return len(self.invokers)
 
     def _default_factory(self, index: int) -> AnyInvoker:
+        """Clone the first node's setup for a scaled-out node.
+
+        The reference policy's estimator settings (window, horizon) carry
+        over, and constructor parameters are recovered by signature
+        introspection for policies that store each parameter under an
+        attribute of the same name (all built-ins do).  Callers whose
+        policies hold richer construction state should pass an explicit
+        ``factory`` — the experiment runner does, rebuilding from its
+        config's ``policy``/``policy_params``.
+        """
         reference = self.invokers[0]
         if reference.is_baseline:
             return BaselineInvoker(self.env, self.node_config, name=f"scaled-{index}")
+        policy = reference.policy
+        estimator = RuntimeEstimator(
+            window=policy.estimator.window,
+            frequency_horizon=policy.estimator.frequency_horizon,
+        )
+        kwargs = {}
+        parameters = list(inspect.signature(type(policy).__init__).parameters)[2:]
+        for name in parameters:  # beyond (self, estimator)
+            if hasattr(policy, name):
+                kwargs[name] = getattr(policy, name)
         return Invoker(
             self.env,
             self.node_config,
-            policy=type(reference.policy)(type(reference.policy.estimator)()),
+            policy=type(policy)(estimator, **kwargs),
             name=f"scaled-{index}",
         )
 

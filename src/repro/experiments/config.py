@@ -5,8 +5,12 @@
 and ``scenario_params`` carries the builder's keyword parameters as a
 tuple of ``(name, value)`` pairs — tuples, not a dict, so configs stay
 hashable and their canonical JSON form (the cache fingerprint) is stable.
-Both are validated against the registry at construction time, so a typo
-fails before any simulation time is spent.
+``policy`` names a scheduling policy from the policy registry
+(:mod:`repro.scheduling.registry`; enumerate with ``faas-sched
+policies``) — or ``"baseline"`` for the stock invoker — with
+``policy_params`` carried in the same canonical pair-tuple form.  All are
+validated against their registries at construction time, so a typo fails
+before any simulation time is spent.
 """
 
 from __future__ import annotations
@@ -16,6 +20,7 @@ from typing import Any, Dict, Mapping, Tuple, Union
 
 from repro.cluster.spec import DEFAULT_CLUSTER, ClusterSpec
 from repro.node.config import NodeConfig
+from repro.scheduling.registry import get_policy
 from repro.workload.registry import get_scenario
 
 __all__ = ["ExperimentConfig", "MultiNodeConfig", "BASELINE"]
@@ -66,8 +71,18 @@ class ExperimentConfig:
         The paper's load multiplier ``v``; total requests are
         ``1.1 * cores * intensity``.
     policy:
-        ``"baseline"`` for stock OpenWhisk, else a scheduling-policy name
-        (``FIFO``/``SEPT``/``EECT``/``RECT``/``FC``).
+        ``"baseline"`` for stock OpenWhisk, else the name of a registered
+        scheduling policy (``FIFO``/``SEPT``/``EECT``/``RECT``/``FC``,
+        plus the registered extensions — see ``faas-sched policies`` or
+        docs/POLICIES.md).  Validated case-insensitively against the
+        policy registry; the stored spelling is preserved.
+    policy_params:
+        Declared parameters of the scheduling policy as ``(name, value)``
+        pairs (a mapping is accepted and normalised); validated against
+        the policy's registry entry and stored merged over its declared
+        defaults.  Part of the cache fingerprint, so changing a parameter
+        never hits a stale cached result.  Must be empty for
+        ``"baseline"``.
     seed:
         Root seed; the paper repeats each configuration with 5 request
         sequences — use seeds 1..5.
@@ -104,6 +119,7 @@ class ExperimentConfig:
     memory_mb: int = 32768
     scenario: str = "uniform"
     scenario_params: ScenarioParams = ()
+    policy_params: ScenarioParams = ()
     warmup: bool = True
     window_s: float = 60.0
     node_overrides: Tuple[Tuple[str, Any], ...] = ()
@@ -120,6 +136,25 @@ class ExperimentConfig:
         supplied = _freeze_params(self.scenario_params)
         merged = get_scenario(self.scenario).validate_params(dict(supplied))
         object.__setattr__(self, "scenario_params", _freeze_params(merged))
+        # The scheduling policy validates the same way against the policy
+        # registry (an unknown name lists what is registered); "baseline"
+        # is the stock invoker and declares no parameters.
+        supplied_policy = _freeze_params(self.policy_params)
+        if self.is_baseline:
+            if supplied_policy:
+                raise ValueError(
+                    f"policy {self.policy!r} is the stock invoker and takes "
+                    f"no policy parameters, got {dict(supplied_policy)}"
+                )
+            # Store the canonical empty tuple even when the caller passed a
+            # (falsy but mutable) empty mapping — the config must stay
+            # hashable and one-form-per-content.
+            object.__setattr__(self, "policy_params", supplied_policy)
+        else:
+            merged_policy = get_policy(self.policy).validate_params(
+                dict(supplied_policy)
+            )
+            object.__setattr__(self, "policy_params", _freeze_params(merged_policy))
         # The cluster topology normalises the same way: a mapping (or
         # None) becomes a validated ClusterSpec, so every equal topology
         # has exactly one stored — and fingerprinted — form.
@@ -136,6 +171,10 @@ class ExperimentConfig:
     def scenario_kwargs(self) -> Dict[str, Any]:
         """The scenario parameters as a plain dict (builder kwargs)."""
         return dict(self.scenario_params)
+
+    def policy_kwargs(self) -> Dict[str, Any]:
+        """The policy parameters as a plain dict (builder kwargs)."""
+        return dict(self.policy_params)
 
     @property
     def is_baseline(self) -> bool:

@@ -61,6 +61,13 @@ class GridSpec:
     cores × intensity × strategy × seed grid, cached and parallelized like
     the paper's own workload.
 
+    ``strategies`` name registered scheduling policies (or ``baseline``);
+    ``policy_params`` reach each swept strategy filtered to the
+    parameters it declares, so a sweep can mix parameterized and
+    parameterless policies (e.g. ``strategies=("FC", "SEPT-EMA")`` with
+    ``policy_params=(("window", 5),)``) — a parameter no swept strategy
+    declares is a typo and is rejected before any run.
+
     ``nodes``/``balancers`` (plus ``balancer_params``/``autoscale``) sweep
     the cluster topology the same way: every cell runs once per
     ``nodes × balancers`` combination.  The defaults request exactly the
@@ -74,6 +81,9 @@ class GridSpec:
     seeds: Tuple[int, ...] = (1, 2, 3, 4, 5)
     scenario: str = "uniform"
     scenario_params: Tuple[Tuple[str, Any], ...] = ()
+    #: Scheduling-policy parameters, applied to every swept strategy that
+    #: declares them (validated per policy at config construction).
+    policy_params: Tuple[Tuple[str, Any], ...] = ()
     #: Cluster sweep: node counts × balancer flavours.
     nodes: Tuple[int, ...] = (1,)
     balancers: Tuple[str, ...] = ("least-loaded",)
@@ -146,6 +156,41 @@ class GridSpec:
             for nodes in self.nodes
             for balancer in self.balancers
         )
+
+    def policy_params_by_strategy(self) -> Dict[str, Tuple[Tuple[str, Any], ...]]:
+        """``strategy -> policy_params`` for every swept strategy, with
+        ``policy_params`` filtered to the parameters each registered
+        policy declares (``baseline`` declares none).
+
+        Validates strategy names against the policy registry and rejects
+        a supplied parameter no swept strategy declares — both before any
+        simulation time is spent.
+        """
+        from repro.scheduling.registry import policy_param_names
+
+        declared_by = {
+            strategy: (
+                set()
+                if strategy.lower() == BASELINE
+                else set(policy_param_names(strategy))
+            )
+            for strategy in self.strategies
+        }
+        supplied = {name for name, _ in self.policy_params}
+        unknown = sorted(supplied - set().union(*declared_by.values(), set()))
+        if unknown:
+            raise ValueError(
+                f"policy parameter(s) {unknown} are not declared by any "
+                f"swept strategy ({', '.join(self.strategies)})"
+            )
+        return {
+            strategy: tuple(
+                (name, value)
+                for name, value in self.policy_params
+                if name in declared
+            )
+            for strategy, declared in declared_by.items()
+        }
 
     @property
     def has_cluster_sweep(self) -> bool:
@@ -367,6 +412,7 @@ def run_grid(
     """
     spec = spec if spec is not None else GridSpec()
     variants = spec.cluster_variants()
+    policy_params = spec.policy_params_by_strategy()
     configs = [
         ExperimentConfig(
             cores=cores,
@@ -375,6 +421,7 @@ def run_grid(
             seed=seed,
             scenario=spec.scenario,
             scenario_params=spec.scenario_params,
+            policy_params=policy_params[strategy],
             cluster=variant,
         )
         for cores, intensity, strategy in spec.cells()

@@ -72,7 +72,8 @@ ProgressCallback = Callable[[int, int, str, bool], None]
 #: v2: configs carry ``scenario_params`` (scenario registry).
 #: v3: configs carry ``cluster`` (ClusterSpec) and results carry
 #: ``balancer_stats`` (cluster routing diagnostics).
-CACHE_SCHEMA_VERSION = 3
+#: v4: configs carry ``policy_params`` (scheduling-policy registry).
+CACHE_SCHEMA_VERSION = 4
 
 _CONFIG_TYPES = {
     "ExperimentConfig": ExperimentConfig,
@@ -85,7 +86,7 @@ _CONFIG_TYPES = {
 # ----------------------------------------------------------------------
 #: Config fields holding ``(name, value)`` pair tuples that JSON would
 #: flatten ambiguously; serialized as lists-of-lists and re-tupled on load.
-_PAIR_FIELDS = ("node_overrides", "scenario_params")
+_PAIR_FIELDS = ("node_overrides", "scenario_params", "policy_params")
 
 
 def config_to_dict(config: AnyConfig) -> Dict[str, Any]:

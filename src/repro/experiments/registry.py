@@ -2,14 +2,16 @@
 
 Each entry maps an experiment id to a callable
 ``run(quick: bool, engine: EngineOptions, workload: WorkloadSelection,
-cluster: ClusterSelection) -> str`` returning a rendered report.
-``quick=True`` runs a scaled-down version (fewer seeds / smaller sweeps)
-suitable for CI and the default benchmark invocation; ``quick=False``
-reproduces the paper's full protocol.  ``engine`` carries the execution
-knobs (worker count, cache directory, progress callback), ``workload``
-an optional scenario override (``--scenario``/``--scenario-param``) and
-``cluster`` an optional cluster-topology override
-(``--nodes``/``--balancer``/...) for the grid-backed artifacts;
+cluster: ClusterSelection, policies: PolicySelection) -> str`` returning
+a rendered report.  ``quick=True`` runs a scaled-down version (fewer
+seeds / smaller sweeps) suitable for CI and the default benchmark
+invocation; ``quick=False`` reproduces the paper's full protocol.
+``engine`` carries the execution knobs (worker count, cache directory,
+progress callback); ``workload`` an optional scenario override
+(``--scenario``/``--scenario-param``), ``cluster`` an optional
+cluster-topology override (``--nodes``/``--balancer``/...) and
+``policies`` an optional scheduling-policy override
+(``--policies``/``--policy-param``) for the grid-backed artifacts;
 artifacts that do not run the grid ignore the engine knobs and reject
 the overrides.
 """
@@ -44,6 +46,7 @@ __all__ = [
     "GRID_BACKED",
     "WorkloadSelection",
     "ClusterSelection",
+    "PolicySelection",
     "run_registered",
     "experiment_ids",
 ]
@@ -107,7 +110,45 @@ class ClusterSelection:
 DEFAULT_CLUSTER_SELECTION = ClusterSelection()
 
 
-def _grid_spec(quick: bool, workload: WorkloadSelection, cluster: ClusterSelection) -> GridSpec:
+@dataclass(frozen=True)
+class PolicySelection:
+    """An optional scheduling-policy override for grid-backed artifacts.
+
+    ``strategies=None`` with no params keeps each artifact's own strategy
+    set (the paper's six); a tuple of registered policy names (plus
+    ``baseline``) reruns the artifact's grid over those strategies
+    instead — e.g. Table III comparing ``SEPT`` against ``SEPT-EMA`` and
+    ``ORACLE-SPT``.  ``params`` reach each swept strategy filtered to
+    the parameters it declares (see
+    :meth:`~repro.experiments.grid.GridSpec.policy_params_by_strategy`).
+    """
+
+    strategies: Optional[Tuple[str, ...]] = None
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @property
+    def is_default(self) -> bool:
+        return self == DEFAULT_POLICY_SELECTION
+
+    def apply(self, spec: GridSpec) -> GridSpec:
+        changes: Dict[str, Any] = {}
+        if self.strategies is not None:
+            changes["strategies"] = tuple(self.strategies)
+        if self.params:
+            changes["policy_params"] = tuple(self.params)
+        return replace(spec, **changes) if changes else spec
+
+
+#: No override: every artifact sweeps its published strategies.
+DEFAULT_POLICY_SELECTION = PolicySelection()
+
+
+def _grid_spec(
+    quick: bool,
+    workload: WorkloadSelection,
+    cluster: ClusterSelection,
+    policies: PolicySelection,
+) -> GridSpec:
     if quick:
         spec = GridSpec(
             cores=(10, 20),
@@ -117,14 +158,14 @@ def _grid_spec(quick: bool, workload: WorkloadSelection, cluster: ClusterSelecti
         )
     else:
         spec = GridSpec()
-    return cluster.apply(workload.apply(spec))
+    return policies.apply(cluster.apply(workload.apply(spec)))
 
 
-def _table1(quick: bool, engine: EngineOptions, workload: WorkloadSelection, cluster: ClusterSelection) -> str:
+def _table1(quick, engine, workload, cluster, policies) -> str:
     return run_table1(calls_per_function=20 if quick else 50).render()
 
 
-def _fig2(quick: bool, engine: EngineOptions, workload: WorkloadSelection, cluster: ClusterSelection) -> str:
+def _fig2(quick, engine, workload, cluster, policies) -> str:
     if quick:
         return run_fig2(
             memories_mb=(4096, 16384, 32768, 131072), intensities=(30, 120)
@@ -132,51 +173,51 @@ def _fig2(quick: bool, engine: EngineOptions, workload: WorkloadSelection, clust
     return run_fig2().render()
 
 
-def _fig3(quick: bool, engine: EngineOptions, workload: WorkloadSelection, cluster: ClusterSelection) -> str:
-    spec = _grid_spec(quick, workload, cluster)
+def _fig3(quick, engine, workload, cluster, policies) -> str:
+    spec = _grid_spec(quick, workload, cluster, policies)
     reject_cluster_sweep(spec, "fig3")  # before any simulation time
     return fig3_from_grid(run_grid(spec, **engine.run_kwargs())).render()
 
 
-def _fig4(quick: bool, engine: EngineOptions, workload: WorkloadSelection, cluster: ClusterSelection) -> str:
-    spec = _grid_spec(quick, workload, cluster)
+def _fig4(quick, engine, workload, cluster, policies) -> str:
+    spec = _grid_spec(quick, workload, cluster, policies)
     reject_cluster_sweep(spec, "fig4")  # before any simulation time
     return fig4_from_grid(run_grid(spec, **engine.run_kwargs())).render()
 
 
-def _table2(quick: bool, engine: EngineOptions, workload: WorkloadSelection, cluster: ClusterSelection) -> str:
+def _table2(quick, engine, workload, cluster, policies) -> str:
     if quick:
-        spec = cluster.apply(workload.apply(GridSpec(
+        spec = policies.apply(cluster.apply(workload.apply(GridSpec(
             cores=(5, 20), intensities=(30, 120),
             strategies=("baseline", "FIFO"), seeds=(1, 2),
-        )))
+        ))))
     else:
-        spec = _grid_spec(quick, workload, cluster)
+        spec = _grid_spec(quick, workload, cluster, policies)
     reject_cluster_sweep(spec, "table2")  # before any simulation time
     return table2_from_grid(run_grid(spec, **engine.run_kwargs())).render()
 
 
-def _table3(quick: bool, engine: EngineOptions, workload: WorkloadSelection, cluster: ClusterSelection) -> str:
-    grid = run_grid(_grid_spec(quick, workload, cluster), **engine.run_kwargs())
+def _table3(quick, engine, workload, cluster, policies) -> str:
+    grid = run_grid(_grid_spec(quick, workload, cluster, policies), **engine.run_kwargs())
     result = table3_from_grid(grid)
     return result.render() + "\n\n" + result.render_comparison()
 
 
-def _table4(quick: bool, engine: EngineOptions, workload: WorkloadSelection, cluster: ClusterSelection) -> str:
+def _table4(quick, engine, workload, cluster, policies) -> str:
     if quick:
-        spec = cluster.apply(
+        spec = policies.apply(cluster.apply(
             workload.apply(GridSpec(cores=(10,), intensities=(30,), seeds=(1, 2, 3)))
-        )
+        ))
     else:
-        spec = _grid_spec(quick, workload, cluster)
+        spec = _grid_spec(quick, workload, cluster, policies)
     return table3_from_grid(run_grid(spec, **engine.run_kwargs()), per_seed=True).render()
 
 
-def _fig5(quick: bool, engine: EngineOptions, workload: WorkloadSelection, cluster: ClusterSelection) -> str:
+def _fig5(quick, engine, workload, cluster, policies) -> str:
     return run_fig5(seeds=(1,) if quick else (1, 2, 3, 4, 5)).render()
 
 
-def _fig6(quick: bool, engine: EngineOptions, workload: WorkloadSelection, cluster: ClusterSelection) -> str:
+def _fig6(quick, engine, workload, cluster, policies) -> str:
     # fig6 is inherently a cluster sweep (over node counts); it honors the
     # engine's jobs/cache/progress knobs and, of the cluster selection,
     # exactly the balancer flavour.  Everything else (its own node counts,
@@ -212,7 +253,7 @@ def _fig6(quick: bool, engine: EngineOptions, workload: WorkloadSelection, clust
     return "\n\n".join(reports)
 
 
-def _ablations(quick: bool, engine: EngineOptions, workload: WorkloadSelection, cluster: ClusterSelection) -> str:
+def _ablations(quick, engine, workload, cluster, policies) -> str:
     reports = [
         ablate_estimator_window().render(),
         ablate_busy_limit().render(),
@@ -224,7 +265,10 @@ def _ablations(quick: bool, engine: EngineOptions, workload: WorkloadSelection, 
 
 
 #: Experiment id -> (description, runner).
-EXPERIMENTS: Dict[str, tuple[str, Callable[[bool, EngineOptions, WorkloadSelection, ClusterSelection], str]]] = {
+_Runner = Callable[
+    [bool, EngineOptions, WorkloadSelection, ClusterSelection, PolicySelection], str
+]
+EXPERIMENTS: Dict[str, tuple[str, _Runner]] = {
     "table1": ("Table I — idle-system SeBS function benchmark", _table1),
     "fig2": ("Fig. 2 — cold starts vs. memory and intensity", _fig2),
     "fig3": ("Fig. 3 — response-time boxes over the grid", _fig3),
@@ -263,6 +307,8 @@ def run_registered(
     balancers: Optional[Sequence[str]] = None,
     balancer_params: Union[Mapping[str, Any], Tuple[Tuple[str, Any], ...]] = (),
     autoscale: bool = False,
+    policies: Optional[Sequence[str]] = None,
+    policy_params: Union[Mapping[str, Any], Tuple[Tuple[str, Any], ...]] = (),
 ) -> str:
     """Run a registered experiment and return its rendered report.
 
@@ -274,8 +320,11 @@ def run_registered(
     ``nodes``/``balancers`` (plus ``balancer_params``/``autoscale``)
     sweep the grid-backed artifacts over cluster topologies; fig6 — a
     node-count sweep by construction — honors a single ``balancers``
-    entry.  The remaining artifacts reject the overrides rather than
-    silently ignoring them.
+    entry.  ``policies``/``policy_params`` rerun the grid-backed
+    artifacts over a different strategy set (any registered scheduling
+    policy plus ``baseline`` — see ``faas-sched policies``), with
+    parameters reaching each strategy that declares them.  The remaining
+    artifacts reject the overrides rather than silently ignoring them.
     """
     try:
         _, runner = EXPERIMENTS[experiment_id]
@@ -310,6 +359,20 @@ def run_registered(
             f"honor a cluster override; cluster-capable artifacts: "
             f"{', '.join(sorted(GRID_BACKED | {'fig6'}))}"
         )
+    policy_selection = PolicySelection(
+        strategies=None if policies is None else tuple(policies),
+        params=(
+            tuple(policy_params.items())
+            if isinstance(policy_params, Mapping)
+            else tuple(policy_params)
+        ),
+    )
+    if not policy_selection.is_default and experiment_id not in GRID_BACKED:
+        raise ValueError(
+            f"artifact {experiment_id!r} runs a fixed strategy set and does "
+            f"not honor a policy override; grid-backed artifacts: "
+            f"{', '.join(sorted(GRID_BACKED))}"
+        )
     engine = EngineOptions(jobs=jobs, cache_dir=cache_dir, progress=progress)
     # A mapping is the natural programmatic spelling (ExperimentConfig
     # accepts it too); tuple() on a dict would keep only the keys.
@@ -318,4 +381,4 @@ def run_registered(
     else:
         params = tuple(scenario_params)
     workload = WorkloadSelection(scenario=scenario, params=params)
-    return runner(quick, engine, workload, cluster)
+    return runner(quick, engine, workload, cluster, policy_selection)

@@ -110,7 +110,10 @@ def _build_invoker(
     node_config = node_config if node_config is not None else config.node_config()
     if config.is_baseline:
         return BaselineInvoker(env, node_config, name=name)
-    return Invoker(env, node_config, policy=config.policy, name=name)
+    # MultiNodeConfig (legacy) has no policy_params field; the registry
+    # treats the absent value as "all declared defaults".
+    params = dict(getattr(config, "policy_params", ()))
+    return Invoker(env, node_config, policy=config.policy, name=name, policy_params=params)
 
 
 def _build_scenario(config: ExperimentConfig, rngs: RngRegistry) -> BurstScenario:
@@ -212,8 +215,18 @@ def _run_cluster_experiment(config: ExperimentConfig) -> ExperimentResult:
     if autoscaler_config is not None:
         # The autoscaler appends to the same (live) list the balancer and
         # platform hold, so scaled-out nodes become routable immediately.
+        # Scaled-out nodes rebuild the policy from the experiment config —
+        # name, policy_params, and the node's estimator settings — rather
+        # than the autoscaler's generic default factory, which knows none
+        # of them.
         autoscaler = ReactiveAutoscaler(
-            env, invokers, base_node, config=autoscaler_config
+            env,
+            invokers,
+            base_node,
+            config=autoscaler_config,
+            factory=lambda index: _build_invoker(
+                env, config, name=f"scaled-{index}", node_config=base_node
+            ),
         )
 
     platform = FaaSPlatform(env, invokers, balancer=balancer)

@@ -12,15 +12,15 @@ Differences from the stock OpenWhisk invoker (paper Sect. IV):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, Any, List, Mapping, Optional
 
 from repro.node.container import ContainerState
 from repro.node.docker import DockerDaemon
 from repro.node.memory import MemoryPool
 from repro.node.pool import ContainerPool
-from repro.scheduling.estimator import RuntimeEstimator
-from repro.scheduling.policies import SchedulingPolicy, make_policy
+from repro.scheduling.policies import SchedulingPolicy
 from repro.scheduling.queue import StablePriorityQueue
+from repro.scheduling.registry import build_policy
 from repro.sim.cpu import SharedCPU, linear_overhead_efficiency
 from repro.sim.events import Event
 
@@ -71,10 +71,14 @@ class Invoker:
     env, config:
         Simulation environment and node configuration.
     policy:
-        A policy name (``FIFO``/``SEPT``/``EECT``/``RECT``/``FC``) or a
-        ready :class:`SchedulingPolicy` instance.
+        A registered policy name (``FIFO``/``SEPT``/.../``SEPT-EMA`` —
+        see ``faas-sched policies``) or a ready :class:`SchedulingPolicy`
+        instance.
     name:
         Diagnostic identifier (used in multi-node runs).
+    policy_params:
+        Declared parameters for a named policy (validated against the
+        registry); rejected when *policy* is already an instance.
     """
 
     is_baseline = False
@@ -85,6 +89,7 @@ class Invoker:
         config: "NodeConfig",
         policy: "str | SchedulingPolicy" = "FIFO",
         name: str = "invoker-0",
+        policy_params: "Mapping[str, Any] | None" = None,
     ) -> None:
         self.env = env
         self.config = config
@@ -96,12 +101,19 @@ class Invoker:
         self.memory = MemoryPool(config.memory_mb)
         self.pool = ContainerPool(env, config, self.daemon, self.memory)
         if isinstance(policy, SchedulingPolicy):
+            if policy_params:
+                raise ValueError(
+                    "policy_params only apply when the policy is given by "
+                    "name; configure the instance directly instead"
+                )
             self.policy = policy
         else:
-            estimator = RuntimeEstimator(
-                window=config.estimator_window, frequency_horizon=config.fc_horizon_s
+            self.policy = build_policy(
+                policy,
+                policy_params,
+                window=config.estimator_window,
+                frequency_horizon=config.fc_horizon_s,
             )
-            self.policy = make_policy(policy, estimator)
         self.queue: StablePriorityQueue = StablePriorityQueue()
         self._busy = 0
         self.completed: List[NodeCallInfo] = []
@@ -128,13 +140,19 @@ class Invoker:
         processing-time observations so ``E(p(i))`` is meaningful from the
         first measured call."""
         count = self.config.cores if per_function is None else per_function
+        # Seed up to the *policy's* estimator window — a policy may have
+        # reconfigured it away from the node default (e.g. SEPT-EMA's
+        # window parameter), and a partially seeded window would make the
+        # configured and default windows warm up identically.
+        window = self.policy.estimator.window
         for spec in specs:
             self.pool.seed_warm(spec, count)
             # What the node measured for each warm-up call: the function's
             # idle execution time (its distribution median as the
-            # single-point summary).
-            for _ in range(min(count, self.config.estimator_window)):
-                self.policy.estimator.record_completion(
+            # single-point summary).  Routed through the policy so
+            # EMA-keeping policies seed their own state too.
+            for _ in range(min(count, window)):
+                self.policy.record_warmup(
                     spec.name, spec.service_distribution.median
                 )
 

@@ -19,10 +19,36 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, Optional
 
-__all__ = ["RuntimeEstimator", "DEFAULT_WINDOW"]
+__all__ = ["RuntimeEstimator", "EmaTracker", "DEFAULT_WINDOW"]
 
 #: Number of most recent processing times averaged (paper: "at most 10").
 DEFAULT_WINDOW = 10
+
+
+class EmaTracker:
+    """Per-function exponential moving average of a sample stream.
+
+    The first sample seeds the estimate; afterwards it updates as
+    ``ema <- alpha * sample + (1 - alpha) * ema``.  Never-seen functions
+    report 0 — the same "unknown functions look maximally attractive"
+    semantics as the window estimator (paper Sect. IV-B).  Shared by the
+    EMA-estimating policies (``ETAS``, ``SEPT-EMA``).
+    """
+
+    def __init__(self, alpha: float) -> None:
+        self.alpha = float(alpha)
+        self._ema: Dict[str, float] = {}
+
+    def update(self, function_name: str, sample: float) -> None:
+        previous = self._ema.get(function_name)
+        if previous is None:
+            self._ema[function_name] = sample
+        else:
+            self._ema[function_name] = self.alpha * sample + (1.0 - self.alpha) * previous
+
+    def get(self, function_name: str) -> float:
+        """Current estimate (0 for never-seen functions)."""
+        return self._ema.get(function_name, 0.0)
 
 
 class RuntimeEstimator:

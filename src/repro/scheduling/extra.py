@@ -1,7 +1,10 @@
 """Extension policies beyond the paper's five (DESIGN.md §7).
 
 These are **not** part of the reproduction proper; they bound and
-contextualise the paper's results:
+contextualise the paper's results.  All three are registered in the
+scheduling-policy registry (:mod:`repro.scheduling.registry`), so they
+run through ``ExperimentConfig``, the grid, the parallel engine and the
+CLI exactly like the paper's policies:
 
 * :class:`ClairvoyantSPT` — an oracle that knows each call's true
   processing time ``p(i)``.  Upper-bounds what any estimate-driven
@@ -20,8 +23,9 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict
 
-from repro.scheduling.estimator import RuntimeEstimator
+from repro.scheduling.estimator import EmaTracker, RuntimeEstimator
 from repro.scheduling.policies import SchedulingPolicy
+from repro.scheduling.registry import PolicyParam, register_policy, require_number
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.workload.generator import Request
@@ -29,6 +33,19 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["ClairvoyantSPT", "EtasLike", "RoundRobinPerFunction", "EXTRA_POLICIES"]
 
 
+def _validate_etas_params(params: dict) -> None:
+    alpha = require_number("alpha", params["alpha"], "ETAS")
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must lie in (0, 1], got {params['alpha']!r}")
+
+
+@register_policy(
+    "ORACLE-SPT",
+    description=(
+        "clairvoyant shortest processing time: priority is the true p(i); "
+        "upper-bounds what SEPT could achieve"
+    ),
+)
 class ClairvoyantSPT(SchedulingPolicy):
     """Oracle shortest-processing-time: priority is the true ``p(i)``.
 
@@ -43,6 +60,22 @@ class ClairvoyantSPT(SchedulingPolicy):
         return request.service_time
 
 
+@register_policy(
+    "ETAS",
+    description=(
+        "ETAS-like rule of Banaei & Sharifi 2021 (the paper's [43]): "
+        "r'(i) + EMA runtime estimate"
+    ),
+    starvation_free=True,
+    params=(
+        PolicyParam(
+            "alpha",
+            0.3,
+            "EMA smoothing factor in (0, 1]; 1 keeps only the last sample",
+        ),
+    ),
+    validator=_validate_etas_params,
+)
 class EtasLike(SchedulingPolicy):
     """ETAS-style earliest-estimated-completion with an EMA estimator.
 
@@ -60,25 +93,32 @@ class EtasLike(SchedulingPolicy):
         if not 0.0 < alpha <= 1.0:
             raise ValueError(f"alpha must lie in (0, 1], got {alpha!r}")
         self.alpha = alpha
-        self._ema: Dict[str, float] = {}
+        self._ema = EmaTracker(alpha)
 
     def priority(self, request: "Request", received_at: float) -> float:
-        return received_at + self._ema.get(request.function.name, 0.0)
+        return received_at + self._ema.get(request.function.name)
 
     def on_completed(self, request: "Request", processing_time: float) -> None:
         super().on_completed(request, processing_time)
-        name = request.function.name
-        previous = self._ema.get(name)
-        if previous is None:
-            self._ema[name] = processing_time
-        else:
-            self._ema[name] = self.alpha * processing_time + (1 - self.alpha) * previous
+        self._ema.update(request.function.name, processing_time)
+
+    def record_warmup(self, function_name: str, processing_time: float) -> None:
+        super().record_warmup(function_name, processing_time)
+        self._ema.update(function_name, processing_time)
 
     def ema(self, function_name: str) -> float:
         """Current EMA estimate (0 for never-seen functions)."""
-        return self._ema.get(function_name, 0.0)
+        return self._ema.get(function_name)
 
 
+@register_policy(
+    "RR-FN",
+    description=(
+        "per-function round-robin: functions take turns, calls within a "
+        "function stay FIFO"
+    ),
+    starvation_free=True,
+)
 class RoundRobinPerFunction(SchedulingPolicy):
     """Per-function round-robin: the k-th call of any function gets
     priority ``k`` — functions interleave fairly, FIFO within a function."""

@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, Type
 
 from repro.scheduling.estimator import RuntimeEstimator
+from repro.scheduling.registry import register_policy
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.workload.generator import Request
@@ -73,10 +74,27 @@ class SchedulingPolicy:
         """Feed the node-measured processing time back to the estimator."""
         self.estimator.record_completion(request.function.name, processing_time)
 
+    def record_warmup(self, function_name: str, processing_time: float) -> None:
+        """Seed estimation state during node warm-up (paper Sect. V-A).
+
+        The default feeds the window estimator exactly like a measured
+        completion; policies that keep their own estimates (EMA-based
+        ones) override this so warm-up reaches them too — otherwise their
+        first-wave priorities would degenerate while the window policies
+        start seeded.
+        """
+        self.estimator.record_completion(function_name, processing_time)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__}>"
 
 
+@register_policy(
+    "FIFO",
+    description="first-in-first-out: priority is the receipt time r'(i)",
+    paper_section="IV",
+    starvation_free=True,
+)
 class FirstInFirstOut(SchedulingPolicy):
     """FIFO: priority is the receipt time ``r'(i)``.
 
@@ -92,6 +110,11 @@ class FirstInFirstOut(SchedulingPolicy):
         return received_at
 
 
+@register_policy(
+    "SEPT",
+    description="shortest expected processing time: priority is E(p(i))",
+    paper_section="IV",
+)
 class ShortestExpectedProcessingTime(SchedulingPolicy):
     """SEPT: priority is ``E(p(i))``; short functions jump the queue."""
 
@@ -102,6 +125,12 @@ class ShortestExpectedProcessingTime(SchedulingPolicy):
         return self.estimator.expected_processing_time(request.function.name)
 
 
+@register_policy(
+    "EECT",
+    description="earliest expected completion time: priority is r'(i) + E(p(i))",
+    paper_section="IV",
+    starvation_free=True,
+)
 class EarliestExpectedCompletionTime(SchedulingPolicy):
     """EECT: priority is ``r'(i) + E(p(i))``.
 
@@ -116,6 +145,15 @@ class EarliestExpectedCompletionTime(SchedulingPolicy):
         return received_at + self.estimator.expected_processing_time(request.function.name)
 
 
+@register_policy(
+    "RECT",
+    description=(
+        "recent expected completion time: like EECT but anchored at the "
+        "previous same-function receipt time r̄(i)"
+    ),
+    paper_section="IV",
+    starvation_free=True,
+)
 class RecentExpectedCompletionTime(SchedulingPolicy):
     """RECT: priority is ``r̄(i) + E(p(i))`` with ``r̄(i)`` the receipt time
     of the previous call of the same function (the current receipt time for
@@ -131,6 +169,14 @@ class RecentExpectedCompletionTime(SchedulingPolicy):
         return anchor + self.estimator.expected_processing_time(request.function.name)
 
 
+@register_policy(
+    "FC",
+    description=(
+        "fair choice: priority is #(f(i), -T) * E(p(i)) — recent total "
+        "resource consumption of the function"
+    ),
+    paper_section="IV",
+)
 class FairChoice(SchedulingPolicy):
     """FC: priority is ``#(f(i), -T) * E(p(i))`` — the function's estimated
     total processing-time consumption over the recent window ``T``.

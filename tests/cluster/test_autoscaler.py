@@ -81,6 +81,28 @@ class TestReactiveAutoscaler:
         if autoscaler.fleet_size > 1:
             assert type(autoscaler.invokers[-1].policy).name == "FC"
 
+    def test_default_factory_preserves_policy_params_and_estimator(self):
+        # The default factory must clone a parameterized reference policy
+        # faithfully — constructor params recovered from same-named
+        # attributes, estimator window/horizon carried over.
+        from repro.scheduling.estimator import RuntimeEstimator
+        from repro.scheduling.extra import EtasLike
+
+        env = Environment()
+        node_config = NodeConfig(cores=4)
+        reference = Invoker(
+            env,
+            node_config,
+            policy=EtasLike(RuntimeEstimator(window=7, frequency_horizon=45.0), alpha=0.7),
+            name="node-0",
+        )
+        autoscaler = ReactiveAutoscaler(env, [reference], node_config)
+        scaled = autoscaler._factory(1)
+        assert type(scaled.policy) is EtasLike
+        assert scaled.policy.alpha == 0.7
+        assert scaled.policy.estimator.window == 7
+        assert scaled.policy.estimator.frequency_horizon == 45.0
+
     def test_scheduling_handles_peak_autoscaler_too_late(self):
         # The paper's argument: during a 60 s burst, a 30 s provisioning
         # delay means the autoscaler's capacity arrives when most of the

@@ -98,6 +98,68 @@ class TestExperimentConfig:
                 scenario_params={"rate": {"a": 1}},
             )
 
+    def test_unknown_policy_rejected_listing_available(self):
+        with pytest.raises(ValueError, match="SEPT"):
+            ExperimentConfig(cores=10, intensity=30, policy="SJF")
+
+    def test_policy_case_preserved_but_validated_insensitively(self):
+        cfg = ExperimentConfig(cores=10, intensity=30, policy="sept")
+        assert cfg.policy == "sept"  # stored spelling untouched (labels, fingerprints)
+
+    def test_registered_extension_policies_accepted(self):
+        for name in ("ORACLE-SPT", "ETAS", "RR-FN", "FC-HYBRID", "SEPT-EMA"):
+            assert ExperimentConfig(cores=10, intensity=30, policy=name).policy == name
+
+    def test_policy_params_validated_and_defaults_folded(self):
+        implicit = ExperimentConfig(cores=10, intensity=30, policy="ETAS")
+        explicit = ExperimentConfig(
+            cores=10, intensity=30, policy="ETAS", policy_params={"alpha": 0.3}
+        )
+        assert implicit == explicit
+        assert implicit.policy_kwargs() == {"alpha": 0.3}
+
+    def test_unknown_policy_param_rejected(self):
+        with pytest.raises(ValueError, match="alpha"):
+            ExperimentConfig(
+                cores=10, intensity=30, policy="ETAS", policy_params={"alhpa": 0.5}
+            )
+
+    def test_policy_params_on_parameterless_policy_rejected(self):
+        with pytest.raises(ValueError, match="FIFO"):
+            ExperimentConfig(
+                cores=10, intensity=30, policy="FIFO", policy_params={"alpha": 0.5}
+            )
+
+    def test_policy_params_on_baseline_rejected(self):
+        with pytest.raises(ValueError, match="baseline"):
+            ExperimentConfig(
+                cores=10, intensity=30, policy="baseline",
+                policy_params={"alpha": 0.5},
+            )
+
+    def test_baseline_empty_mapping_params_stay_canonical(self):
+        # A falsy-but-mutable {} must still normalise to the canonical
+        # empty tuple, or the frozen config loses hashability.
+        cfg = ExperimentConfig(
+            cores=10, intensity=30, policy="baseline", policy_params={}
+        )
+        assert cfg.policy_params == ()
+        assert cfg == ExperimentConfig(cores=10, intensity=30, policy="baseline")
+        hash(cfg)
+
+    def test_policy_params_normalised_and_hashable(self):
+        from_dict = ExperimentConfig(
+            cores=10, intensity=30, policy="SEPT-EMA",
+            policy_params={"window": 5, "smoothing": 0.0},
+        )
+        from_pairs = ExperimentConfig(
+            cores=10, intensity=30, policy="SEPT-EMA",
+            policy_params=(("smoothing", 0.0), ("window", 5)),
+        )
+        assert from_dict == from_pairs
+        assert hash(from_dict) == hash(from_pairs)
+        assert from_dict.policy_kwargs() == {"window": 5, "smoothing": 0.0}
+
     def test_label(self):
         cfg = ExperimentConfig(cores=10, intensity=30, policy="FC", seed=3)
         assert "FC" in cfg.label() and "seed=3" in cfg.label()

@@ -1,0 +1,208 @@
+"""Acceptance: the policy dimension through the experiment stack.
+
+* the default (unparameterized) five-policy path is untouched — covered
+  by the golden-fingerprint suite — while a policy-param override
+  provably diverges the cache fingerprint;
+* parameterized policies are bit-identical between the serial engine and
+  ``jobs=2``, and round-trip through the on-disk cache;
+* ``GridSpec`` sweeps mixed strategy sets with per-strategy parameter
+  filtering, and the experiment registry honours ``--policies`` /
+  ``--policy-param`` overrides exactly like the scenario and cluster
+  overrides it already has.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.grid import GridSpec, run_grid
+from repro.experiments.parallel import (
+    EngineStats,
+    config_fingerprint,
+    config_from_dict,
+    config_to_dict,
+    run_configs,
+)
+from repro.experiments.registry import run_registered
+
+
+def assert_results_identical(a, b) -> None:
+    assert a.config == b.config
+    assert a.records == b.records
+    assert a.node_stats == b.node_stats
+
+
+class TestFingerprints:
+    def test_policy_param_override_diverges_fingerprint(self):
+        base = ExperimentConfig(cores=4, intensity=10, policy="ETAS")
+        tweaked = base.with_(policy_params={"alpha": 0.5})
+        assert config_fingerprint(base) != config_fingerprint(tweaked)
+
+    def test_policy_name_diverges_fingerprint(self):
+        a = ExperimentConfig(cores=4, intensity=10, policy="SEPT")
+        b = a.with_(policy="SEPT-EMA")
+        assert config_fingerprint(a) != config_fingerprint(b)
+
+    def test_explicit_default_param_matches_implicit(self):
+        # Defaults are folded in at construction: relying on alpha=0.3 and
+        # spelling it out are the same experiment, hence the same key.
+        implicit = ExperimentConfig(cores=4, intensity=10, policy="ETAS")
+        explicit = implicit.with_(policy_params={"alpha": 0.3})
+        assert config_fingerprint(implicit) == config_fingerprint(explicit)
+
+    def test_config_round_trips_through_json(self):
+        cfg = ExperimentConfig(
+            cores=4, intensity=10, policy="SEPT-EMA",
+            policy_params={"window": 3},
+        )
+        assert config_from_dict(config_to_dict(cfg)) == cfg
+
+
+class TestParameterizedBitIdentity:
+    @pytest.mark.parametrize(
+        "policy,params",
+        [
+            ("SEPT-EMA", {"window": 3}),
+            ("SEPT-EMA", {"smoothing": 0.4}),
+            ("FC-HYBRID", {"deadline_weight": 0.8}),
+            ("ETAS", {"alpha": 0.7}),
+        ],
+    )
+    def test_serial_matches_jobs2(self, policy, params):
+        configs = [
+            ExperimentConfig(
+                cores=4, intensity=10, policy=policy, policy_params=params, seed=seed
+            )
+            for seed in (1, 2)
+        ]
+        serial = run_configs(configs, jobs=1)
+        pooled = run_configs(configs, jobs=2)
+        for s, p in zip(serial, pooled):
+            assert_results_identical(s, p)
+
+    def test_parameterized_policy_caches_and_hits(self, tmp_path):
+        configs = [
+            ExperimentConfig(
+                cores=4, intensity=10, policy="SEPT-EMA",
+                policy_params={"window": 3}, seed=seed,
+            )
+            for seed in (1, 2)
+        ]
+        first = run_configs(configs, cache_dir=tmp_path)
+        stats = EngineStats()
+        second = run_configs(configs, cache_dir=tmp_path, stats=stats)
+        assert stats.cached == 2 and stats.computed == 0
+        for a, b in zip(first, second):
+            assert_results_identical(a, b)
+
+    def test_param_change_misses_the_cache(self, tmp_path):
+        cfg = ExperimentConfig(
+            cores=4, intensity=10, policy="SEPT-EMA", policy_params={"window": 3}
+        )
+        run_configs([cfg], cache_dir=tmp_path)
+        stats = EngineStats()
+        run_configs(
+            [cfg.with_(policy_params={"window": 4})],
+            cache_dir=tmp_path,
+            stats=stats,
+        )
+        assert stats.computed == 1 and stats.cached == 0
+
+    def test_param_actually_changes_scheduling(self):
+        # FC-HYBRID at w=1 orders like EECT, at w=0 like FC — on a loaded
+        # node the resulting record streams must differ.
+        def records(weight):
+            cfg = ExperimentConfig(
+                cores=4, intensity=30, policy="FC-HYBRID",
+                policy_params={"deadline_weight": weight},
+            )
+            return run_configs([cfg])[0].records
+
+        assert records(0.0) != records(1.0)
+
+
+class TestAutoscaledPolicyParams:
+    def test_scaled_out_nodes_rebuild_policy_from_config(self, monkeypatch):
+        # The runner hands the autoscaler a factory that rebuilds the
+        # policy from the experiment config — name, params, and the
+        # node's estimator settings — not the generic default factory,
+        # which knows none of them.
+        import repro.experiments.runner as runner_mod
+
+        captured = {}
+        real = runner_mod.ReactiveAutoscaler
+
+        class Capturing(real):
+            def __init__(self, *args, **kwargs):
+                captured["factory"] = kwargs.get("factory")
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(runner_mod, "ReactiveAutoscaler", Capturing)
+        cfg = ExperimentConfig(
+            cores=4, intensity=10, policy="SEPT-EMA",
+            policy_params={"window": 3},
+            node_overrides=(("fc_horizon_s", 30.0),),
+            cluster={"nodes": 1, "autoscaler": ()},
+        )
+        runner_mod.run_experiment(cfg)
+        scaled = captured["factory"](7)
+        assert scaled.name == "scaled-7"
+        assert scaled.policy.estimator.window == 3
+        assert scaled.policy.estimator.frequency_horizon == 30.0
+
+
+class TestGridPolicySweep:
+    def test_params_filtered_per_strategy(self):
+        spec = GridSpec(
+            cores=(4,), intensities=(10,),
+            strategies=("baseline", "SEPT", "SEPT-EMA"),
+            seeds=(1,),
+            policy_params=(("window", 3),),
+        )
+        by_strategy = spec.policy_params_by_strategy()
+        assert by_strategy["baseline"] == ()
+        assert by_strategy["SEPT"] == ()
+        assert by_strategy["SEPT-EMA"] == (("window", 3),)
+
+    def test_unknown_param_rejected_before_any_run(self):
+        spec = GridSpec(
+            cores=(4,), intensities=(10,), strategies=("SEPT", "FC"), seeds=(1,),
+            policy_params=(("window", 3),),
+        )
+        with pytest.raises(ValueError, match="not declared by any swept strategy"):
+            run_grid(spec)
+
+    def test_unknown_strategy_rejected_before_any_run(self):
+        spec = GridSpec(
+            cores=(4,), intensities=(10,), strategies=("SJF",), seeds=(1,)
+        )
+        with pytest.raises(ValueError, match="available policies"):
+            run_grid(spec)
+
+    def test_mixed_sweep_runs_and_params_reach_configs(self):
+        spec = GridSpec(
+            cores=(4,), intensities=(10,),
+            strategies=("SEPT", "SEPT-EMA"),
+            seeds=(1,),
+            policy_params=(("smoothing", 0.4),),
+        )
+        grid = run_grid(spec)
+        sept = grid.results(4, 10, "SEPT")[0]
+        ema = grid.results(4, 10, "SEPT-EMA")[0]
+        assert sept.config.policy_params == ()
+        assert dict(ema.config.policy_params)["smoothing"] == 0.4
+
+
+class TestRegisteredArtifactPolicyOverride:
+    def test_policies_override_reruns_grid_backed_artifact(self):
+        report = run_registered(
+            "table4", quick=True,
+            policies=("FC", "FC-HYBRID"),
+            policy_params={"deadline_weight": 0.8},
+        )
+        assert "FC-HYBRID" in report
+
+    def test_policy_override_rejected_for_fixed_strategy_artifact(self):
+        with pytest.raises(ValueError, match="fixed strategy"):
+            run_registered("table1", policies=("SEPT",))
+        with pytest.raises(ValueError, match="fixed strategy"):
+            run_registered("fig5", policy_params={"alpha": 0.5})

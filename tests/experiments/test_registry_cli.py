@@ -212,6 +212,111 @@ class TestScenarioCli:
         assert "scenario=poisson zipf_exponent=0.5" in report
 
 
+class TestPolicyCli:
+    """The policy dimension through the CLI: the `policies` listing plus
+    --policy-param on simulate/grid and --policies/--policy-param on run."""
+
+    def test_policies_subcommand_lists_all_registered(self, capsys):
+        from repro.scheduling.registry import policy_names
+
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        assert len(policy_names()) >= 10
+        for name in policy_names():
+            assert name in out
+        assert "--policy-param" in out  # parameters are documented
+        assert "starvation-free" in out
+
+    def test_simulate_with_parameterized_policy(self, capsys):
+        code = main([
+            "simulate", "--cores", "4", "--intensity", "10",
+            "--policy", "SEPT-EMA", "--policy-param", "smoothing=0.4",
+        ])
+        assert code == 0
+        assert "SEPT-EMA" in capsys.readouterr().out
+
+    def test_simulate_with_extension_policy(self, capsys):
+        code = main([
+            "simulate", "--cores", "4", "--intensity", "10",
+            "--policy", "ORACLE-SPT",
+        ])
+        assert code == 0
+        assert "ORACLE-SPT" in capsys.readouterr().out
+
+    def test_simulate_unknown_policy_param_clean_error(self, capsys):
+        assert main([
+            "simulate", "--cores", "4", "--intensity", "10",
+            "--policy", "ETAS", "--policy-param", "alhpa=0.5",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "alhpa" in err and "alpha" in err
+
+    def test_simulate_non_numeric_policy_param_clean_error(self, capsys):
+        # 'high' survives the JSON fallback as a string; the registry's
+        # validator rejects it with a clean ValueError -> exit 2.
+        assert main([
+            "simulate", "--cores", "4", "--intensity", "10",
+            "--policy", "ETAS", "--policy-param", "alpha=high",
+        ]) == 2
+        assert "must be a number" in capsys.readouterr().err
+
+    def test_grid_non_numeric_policy_param_clean_error(self, capsys):
+        assert main([
+            "grid", "--cores", "4", "--intensities", "10",
+            "--strategies", "ETAS", "--seeds", "1",
+            "--policy-param", "alpha=high", "--no-progress",
+        ]) == 2
+        assert "must be a number" in capsys.readouterr().err
+
+    def test_simulate_inert_param_combination_clean_error(self, capsys):
+        assert main([
+            "simulate", "--cores", "4", "--intensity", "10",
+            "--policy", "SEPT-EMA",
+            "--policy-param", "window=3", "--policy-param", "smoothing=0.4",
+        ]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_simulate_baseline_with_policy_param_clean_error(self, capsys):
+        assert main([
+            "simulate", "--cores", "4", "--intensity", "10",
+            "--policy", "baseline", "--policy-param", "alpha=0.5",
+        ]) == 2
+        assert "no policy parameters" in capsys.readouterr().err
+
+    def test_parser_rejects_unregistered_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--policy", "SJF"])
+
+    def test_grid_with_parameterized_strategy(self, capsys):
+        code = main([
+            "grid", "--cores", "4", "--intensities", "10",
+            "--strategies", "SEPT", "SEPT-EMA", "--seeds", "1",
+            "--policy-param", "window=3", "--no-progress",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SEPT-EMA" in out and "engine: 2 runs" in out
+
+    def test_grid_unknown_policy_param_clean_error(self, capsys):
+        assert main([
+            "grid", "--cores", "4", "--intensities", "10",
+            "--strategies", "FIFO", "--seeds", "1",
+            "--policy-param", "window=3", "--no-progress",
+        ]) == 2
+        assert "not declared by any swept strategy" in capsys.readouterr().err
+
+    def test_run_with_policy_override(self, capsys):
+        assert main([
+            "run", "table4", "--policies", "FC", "FC-HYBRID",
+            "--policy-param", "deadline_weight=0.8", "--no-progress",
+        ]) == 0
+        assert "FC-HYBRID" in capsys.readouterr().out
+
+    def test_run_policy_override_rejected_for_fixed_artifact(self, capsys):
+        assert main(["run", "table1", "--policies", "SEPT"]) == 2
+        assert "fixed strategy" in capsys.readouterr().err
+
+
 class TestClusterCli:
     """The cluster dimension through the CLI: --nodes / --balancer /
     --balancer-param / --autoscale on simulate, grid, and run."""

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Fail when docs/POLICIES.md is out of sync with the policy registry.
+
+Checks, in both directions:
+
+* every scheduling policy registered in ``repro.scheduling.registry`` has
+  a ``## `name` ...`` heading in docs/POLICIES.md;
+* every documented policy heading names a registered policy (no stale
+  catalog entries; the pseudo-policy ``baseline`` is allowed).
+
+Run from the repository root (CI's docs job does)::
+
+    python tools/check_policies_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS = REPO_ROOT / "docs" / "POLICIES.md"
+
+#: Catalog entries look like: ## `name` — description
+HEADING = re.compile(r"^##\s+`(?P<name>[^`]+)`", re.MULTILINE)
+
+#: Documented but not in the registry by design: the stock invoker.
+PSEUDO_POLICIES = {"baseline"}
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.scheduling.registry import policy_names
+
+    registered = set(policy_names())
+    if not DOCS.exists():
+        print(f"error: {DOCS} does not exist", file=sys.stderr)
+        return 1
+    documented = set(HEADING.findall(DOCS.read_text(encoding="utf-8")))
+
+    undocumented = sorted(registered - documented)
+    stale = sorted(documented - registered - PSEUDO_POLICIES)
+    if undocumented:
+        print(
+            "error: registered policy(ies) missing from docs/POLICIES.md: "
+            + ", ".join(undocumented),
+            file=sys.stderr,
+        )
+    if stale:
+        print(
+            "error: docs/POLICIES.md documents unregistered policy(ies): "
+            + ", ".join(stale),
+            file=sys.stderr,
+        )
+    if undocumented or stale:
+        return 1
+    print(f"docs/POLICIES.md covers all {len(registered)} registered policies")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
