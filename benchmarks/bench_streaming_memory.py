@@ -1,0 +1,189 @@
+"""Peak-memory benchmark of the metrics pipeline: retained vs streaming.
+
+Not a pytest-benchmark artifact: this is a standalone script (run it with
+``python benchmarks/bench_streaming_memory.py``) because each case must
+run in its **own subprocess** — ``ru_maxrss`` is a process-lifetime
+high-water mark, so two cases in one process would contaminate each
+other.  The committed result pair:
+
+* ``BENCH_streaming_before.json`` — ``--mode retained``: the historical
+  pipeline (full ``CallRecord`` retention), memory O(invocations);
+* ``BENCH_streaming_after.json`` — ``--mode streaming``
+  (``retain_records=False``): the lazy-arrival + accumulator pipeline,
+  memory bounded by workload *concurrency*, including the ten-million
+  invocation replay under 1 GB.
+
+The workload is a synthetic minute-bucketed trace replayed through the
+``replay`` scenario: four trace functions that FNV-hash onto the
+catalog's sub-10ms functions, 60k invocations per simulated minute
+(~1000/s), on a 16-core FC node with the ``system_cpu_coeff_s``
+contention ablation zeroed — the node then sustains the rate with a
+bounded queue, so what the benchmark measures is the *metrics pipeline*,
+not a backlog.
+
+Usage::
+
+    python benchmarks/bench_streaming_memory.py \
+        --mode streaming --sizes 200000 1000000 10000000 \
+        --out benchmarks/BENCH_streaming_after.json
+"""
+
+import argparse
+import json
+import os
+import resource
+import subprocess
+import sys
+import tempfile
+import time
+import tracemalloc
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Trace function names chosen to FNV-hash onto the catalog's four
+#: fastest functions (dynamic-html, graph-bfs, graph-pagerank, graph-mst;
+#: medians 2-9 ms) — see repro.workload.replay._fnv1a.
+FAST_FUNCS = ("f2", "f4", "f7", "f9")
+
+#: Invocations per simulated trace minute (~1000/s).
+PER_MINUTE = 60_000
+
+
+def write_bench_trace(path, invocations):
+    """A minute-sorted trace totalling *invocations* calls."""
+    from repro.workload.replay import TraceRow, write_trace_csv
+
+    rows = []
+    remaining = invocations
+    minute = 0
+    while remaining > 0:
+        in_minute = min(PER_MINUTE, remaining)
+        share = in_minute // len(FAST_FUNCS)
+        for i, func in enumerate(FAST_FUNCS):
+            count = share if i else in_minute - share * (len(FAST_FUNCS) - 1)
+            if count:
+                rows.append(TraceRow("bench", func, minute, count))
+        remaining -= in_minute
+        minute += 1
+    write_trace_csv(path, rows)
+
+
+def run_case(mode, invocations, trace_allocs=False):
+    """One measured run; returns the measurement dict (child process).
+
+    ``trace_allocs`` additionally runs under ``tracemalloc`` — precise
+    Python-level peak, but ~4-5x slower, so it is opt-in and the slow
+    regression test (not the committed headline numbers) uses it.
+    """
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.runner import run_experiment
+
+    with tempfile.TemporaryDirectory() as tmp:
+        trace = os.path.join(tmp, "bench_trace.csv")
+        write_bench_trace(trace, invocations)
+        config = ExperimentConfig(
+            cores=16,
+            intensity=1,
+            policy="FC",
+            memory_mb=64 * 1024,
+            scenario="replay",
+            scenario_params={"path": trace},
+            node_overrides=(("system_cpu_coeff_s", 0.0),),
+            retain_records=(mode == "retained"),
+        )
+        traced_peak = None
+        if trace_allocs:
+            tracemalloc.start()
+        start = time.perf_counter()
+        result = run_experiment(config)
+        wall_s = time.perf_counter() - start
+        if trace_allocs:
+            _, traced_peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+
+    summary = result.streaming_summary()
+    assert summary.n_calls == invocations, (summary.n_calls, invocations)
+    peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return {
+        "mode": mode,
+        "invocations": invocations,
+        "peak_rss_mb": round(peak_rss_kb / 1024.0, 1),
+        "tracemalloc_peak_mb": (
+            None if traced_peak is None else round(traced_peak / 1e6, 1)
+        ),
+        "wall_s": round(wall_s, 1),
+        "invocations_per_s": round(invocations / wall_s),
+        "mean_response_time_s": round(summary.mean_response_time, 4),
+        "p99_response_time_s": round(summary.response_percentile(99), 4),
+        "makespan_s": round(summary.max_completion_time, 1),
+        "cold_starts": summary.cold_starts,
+    }
+
+
+def run_case_isolated(mode, invocations, trace_allocs=False):
+    """Run one case in a fresh interpreter so ru_maxrss is per-case."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    cmd = [sys.executable, os.path.abspath(__file__), "--child", mode, str(invocations)]
+    if trace_allocs:
+        cmd.append("--tracemalloc")
+    out = subprocess.run(
+        cmd, check=True, capture_output=True, text=True, env=env, cwd=REPO_ROOT
+    )
+    return json.loads(out.stdout)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--mode", choices=("retained", "streaming"), default="streaming")
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=[200_000, 1_000_000],
+        metavar="N", help="invocation counts, one isolated case each",
+    )
+    parser.add_argument("--out", default=None, help="write JSON here (default: stdout)")
+    parser.add_argument(
+        "--tracemalloc", action="store_true",
+        help="also measure the Python-level allocation peak (~4-5x slower)",
+    )
+    parser.add_argument(
+        "--child", nargs=2, metavar=("MODE", "N"), default=None,
+        help=argparse.SUPPRESS,  # internal: run one case in-process
+    )
+    args = parser.parse_args(argv)
+
+    if args.child is not None:
+        mode, n = args.child[0], int(args.child[1])
+        json.dump(run_case(mode, n, trace_allocs=args.tracemalloc), sys.stdout)
+        return 0
+
+    cases = []
+    for n in args.sizes:
+        sys.stderr.write(f"[bench] {args.mode} n={n:,} ...\n")
+        case = run_case_isolated(args.mode, n, trace_allocs=args.tracemalloc)
+        sys.stderr.write(
+            f"[bench]   peak_rss={case['peak_rss_mb']}MB wall={case['wall_s']}s\n"
+        )
+        cases.append(case)
+
+    payload = {
+        "benchmark": "streaming_memory",
+        "mode": args.mode,
+        "workload": (
+            f"replay scenario, {PER_MINUTE} invocations/min onto fast "
+            f"catalog functions, 16-core FC node, system_cpu_coeff_s=0"
+        ),
+        "python": sys.version.split()[0],
+        "cases": cases,
+    }
+    text = json.dumps(payload, indent=2) + "\n"
+    if args.out:
+        Path(args.out).write_text(text, encoding="utf-8")
+        sys.stderr.write(f"[bench] wrote {args.out}\n")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -58,7 +58,7 @@ from typing import Any, List, Optional, Sequence, Tuple
 from repro.cluster.controller import balancer_names
 from repro.cluster.spec import ClusterSpec
 from repro.experiments.config import BASELINE, ExperimentConfig
-from repro.experiments.grid import GridSpec, run_grid
+from repro.experiments.grid import GridResults, GridSpec, run_grid
 from repro.experiments.parallel import ResultCache, WorkerError, progress_printer
 from repro.experiments.registry import EXPERIMENTS, run_registered
 from repro.experiments.runner import run_experiment
@@ -181,6 +181,24 @@ def _add_policy_param_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_streaming_argument(parser: argparse.ArgumentParser) -> None:
+    """``--no-retain-records`` / ``--streaming`` shared by grid/simulate."""
+    parser.add_argument(
+        "--no-retain-records",
+        "--streaming",
+        dest="retain_records",
+        action="store_false",
+        default=True,
+        help=(
+            "streaming mode: fold each completed call into constant-size "
+            "metrics state instead of retaining every call record — exact "
+            "counts/means/cold-starts/makespan, sketched percentiles "
+            "(see docs/STREAMING.md); memory stays bounded for "
+            "million-invocation workloads"
+        ),
+    )
+
+
 def _add_cluster_arguments(
     parser: argparse.ArgumentParser, sweep: bool
 ) -> None:
@@ -297,6 +315,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_arguments(grid, default="uniform")
     _add_cluster_arguments(grid, sweep=True)
     _add_policy_param_argument(grid)
+    _add_streaming_argument(grid)
 
     sim = sub.add_parser("simulate", help="run one ad-hoc single-node experiment")
     sim.add_argument("--cores", type=int, default=10)
@@ -307,6 +326,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_arguments(sim, default="uniform")
     _add_cluster_arguments(sim, sweep=False)
     _add_policy_param_argument(sim)
+    _add_streaming_argument(sim)
     return parser
 
 
@@ -334,6 +354,8 @@ def _grid_spec_from_args(args: argparse.Namespace) -> GridSpec:
         overrides["autoscale"] = True
     if args.policy_param:
         overrides["policy_params"] = _parse_policy_params(args.policy_param)
+    if not args.retain_records:
+        overrides["retain_records"] = False
     return replace(spec, **overrides) if overrides else spec
 
 
@@ -472,7 +494,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             # --jobs > 1.
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        print(table3_from_grid(grid, per_seed=args.per_seed).render())
+        if spec.retain_records:
+            print(table3_from_grid(grid, per_seed=args.per_seed).render())
+        else:
+            # Streaming cells have no records for the Table-III renderer;
+            # render the same columns from the constant-size accumulators
+            # (percentiles are sketch estimates, everything else exact).
+            entries = []
+            for key in grid.cell_keys():
+                if args.per_seed:
+                    for result in grid.results_for(key):
+                        entries.append(
+                            (result.config.label(), result.streaming_summary())
+                        )
+                else:
+                    entries.append(
+                        (GridResults.cell_label(key), grid.streaming_summary_for(key))
+                    )
+            print(
+                render_summary_table(
+                    entries,
+                    title=(
+                        "Streaming grid (constant-memory; percentiles are "
+                        "t-digest estimates)"
+                    ),
+                )
+            )
         stats = grid.stats
         if stats is not None:
             print(
@@ -503,17 +550,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     balancer_params=_parse_balancer_params(args.balancer_param),
                     autoscaler=() if args.autoscale else None,
                 ),
+                retain_records=args.retain_records,
             )
             result = run_experiment(cfg)
         except (ValueError, OSError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        print(render_summary_table([(cfg.label(), result.summary())]))
-        if result.balancer_stats is not None:
+        summary = result.summary() if result.retained else result.streaming_summary()
+        print(render_summary_table([(cfg.label(), summary)]))
+        if not result.retained:
+            print(
+                "(streaming mode: percentiles are t-digest estimates; "
+                "counts, means, makespan and cold starts are exact)"
+            )
+        if result.balancer_stats is not None and result.retained:
             # Cluster run: the per-node breakdown says how the fleet was
             # used (spread, utilization divergence, routing spills).
             print()
             print(cluster_breakdown(result).render())
+        elif result.balancer_stats is not None:
+            # Streaming cluster run: the per-record breakdown needs
+            # retained records; the balancer counters survive.
+            bstats = result.balancer_stats
+            print(
+                f"\nbalancer: {bstats.get('balancer')}  "
+                f"picks: {bstats.get('picks')}  spills: {bstats.get('spills', 0)}"
+            )
         else:
             stats = result.node_stats[0]
             print(

@@ -3,9 +3,23 @@
 Mirrors the paper's Fig. 1 request flow: Gatling (the client generator)
 sends blocking HTTP requests through NGINX/controller/Kafka to an
 invoker's action containers; the connection stays open until the result
-returns.  :class:`FaaSPlatform` drives a
-:class:`~repro.workload.generator.BurstScenario` through that pipeline
+returns.  :class:`FaaSPlatform` drives a workload through that pipeline
 and produces client-side :class:`~repro.metrics.records.CallRecord`\\ s.
+
+Two workload shapes are supported:
+
+* a materialised :class:`~repro.workload.generator.BurstScenario` — every
+  client process is spawned up front (the exact historical code path the
+  golden fingerprints pin);
+* a lazy :class:`~repro.workload.generator.RequestStream` — a single
+  injector process walks the arrival stream and spawns each client at its
+  release time, so peak memory tracks the *concurrency* of the workload,
+  not its length (the million-invocation streaming path).
+
+Record retention is orthogonal: ``retain_records=False`` skips the
+O(invocations) record list, and a ``collector``
+(:class:`~repro.metrics.streaming.MetricsAccumulator`) folds each record
+into constant-size state the moment its response reaches the client.
 """
 
 from __future__ import annotations
@@ -19,13 +33,15 @@ from repro.sim.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.core import Environment
+    from repro.metrics.streaming import MetricsAccumulator
     from repro.node.baseline import BaselineInvoker
     from repro.node.invoker import Invoker
-    from repro.workload.generator import BurstScenario, Request
+    from repro.workload.generator import BurstScenario, Request, RequestStream
 
 __all__ = ["FaaSPlatform"]
 
 AnyInvoker = Union["Invoker", "BaselineInvoker"]
+AnyWorkload = Union["BurstScenario", "RequestStream"]
 
 
 class FaaSPlatform:
@@ -51,19 +67,52 @@ class FaaSPlatform:
         self.balancer = balancer if balancer is not None else LeastLoadedBalancer(self.invokers)
         self.network = network if network is not None else NetworkModel()
         self.records: List[CallRecord] = []
+        #: Client-visible calls completed so far (exact, even when records
+        #: are not retained).
+        self.completed_count = 0
+        self._retain_records = True
+        self._collector: Optional["MetricsAccumulator"] = None
         self._pending = 0
+        self._injecting = False
         self._all_done: Optional[Event] = None
 
     # ------------------------------------------------------------------
-    def run_scenario(self, scenario: "BurstScenario") -> List[CallRecord]:
-        """Inject every request of *scenario*, run to completion, and
-        return the call records sorted by request id."""
-        if not len(scenario):
-            return []
-        self._pending = len(scenario)
-        self._all_done = Event(self.env)
-        for request in scenario:
-            self.env.process(self._client_call(request))
+    def run_scenario(
+        self,
+        scenario: AnyWorkload,
+        *,
+        retain_records: bool = True,
+        collector: Optional["MetricsAccumulator"] = None,
+    ) -> List[CallRecord]:
+        """Drive *scenario* to completion.
+
+        A sized workload (:class:`BurstScenario`) takes the eager path:
+        every client process is spawned up front, exactly as the platform
+        always has.  A workload without ``__len__``
+        (:class:`RequestStream`) takes the lazy path: one injector process
+        spawns each client at its release time.
+
+        ``collector.add(record)`` is invoked for every completed call the
+        moment its response reaches the client (completion order);
+        ``retain_records=False`` additionally skips the O(invocations)
+        ``self.records`` list, and the returned list is then empty —
+        read the collector instead.
+        """
+        self._retain_records = retain_records
+        self._collector = collector
+        if hasattr(scenario, "__len__"):
+            if not len(scenario):
+                return []
+            self._pending = len(scenario)
+            self._injecting = False
+            self._all_done = Event(self.env)
+            for request in scenario:
+                self.env.process(self._client_call(request))
+        else:
+            self._pending = 0
+            self._injecting = True
+            self._all_done = Event(self.env)
+            self.env.process(self._inject(scenario))
         self.env.run(until=self._all_done)
         # Drain trailing background activity (container pauses etc.) so
         # back-to-back scenarios start from a quiet node.  Bounded, because
@@ -72,6 +121,32 @@ class FaaSPlatform:
         self.env.run(until=self.env.now + self.DRAIN_GRACE_S)
         self.records.sort(key=lambda r: r.rid)
         return self.records
+
+    # ------------------------------------------------------------------
+    def _inject(self, scenario: "RequestStream"):
+        """Lazy injection: walk the arrival stream on simulation time,
+        spawning one client process per request at its release moment.
+        Peak memory is the in-flight call count, never the stream length."""
+        env = self.env
+        last_release = float("-inf")
+        for request in scenario.arrivals():
+            release = request.release_time
+            if release < last_release:
+                raise ValueError(
+                    f"RequestStream {getattr(scenario, 'label', '')!r} "
+                    f"yielded request rid={request.rid} at release time "
+                    f"{release!r} after {last_release!r}; streams must "
+                    f"yield in non-decreasing release-time order (see "
+                    f"RequestStream.arrivals)"
+                )
+            last_release = release
+            if release > env.now:
+                yield env.timeout(release - env.now)
+            self._pending += 1
+            env.process(self._client_call(request))
+        self._injecting = False
+        if self._pending == 0 and self._all_done is not None:
+            self._all_done.succeed()
 
     # ------------------------------------------------------------------
     def _client_call(self, request: "Request"):
@@ -87,7 +162,12 @@ class FaaSPlatform:
         info = yield self.invokers[index].submit(request)
         # Response leg: invoker -> client.
         yield env.timeout(self.network.response_delay())
-        self.records.append(CallRecord.from_node_info(info, env.now))
+        record = CallRecord.from_node_info(info, env.now)
+        if self._collector is not None:
+            self._collector.add(record)
+        if self._retain_records:
+            self.records.append(record)
+        self.completed_count += 1
         self._pending -= 1
-        if self._pending == 0 and self._all_done is not None:
+        if self._pending == 0 and not self._injecting and self._all_done is not None:
             self._all_done.succeed()

@@ -110,6 +110,15 @@ class ExperimentConfig:
         accepted and normalised.  The default is the classic single-node
         experiment; anything else routes the run through the cluster
         path (Sect. VIII) and is part of the cache fingerprint.
+    retain_records:
+        ``True`` (the default, and what every golden-fingerprint run
+        uses) keeps the full O(invocations) ``CallRecord`` list on the
+        result.  ``False`` selects the streaming pipeline: the workload
+        feeds the platform lazily and each completed call folds into a
+        constant-size :class:`~repro.metrics.streaming.SummaryAccumulator`
+        — exact counts/means/cold-starts/makespan, sketched percentiles
+        (see docs/STREAMING.md).  Part of the cache fingerprint because
+        the cached payload shape differs.
     """
 
     cores: int
@@ -124,6 +133,7 @@ class ExperimentConfig:
     window_s: float = 60.0
     node_overrides: Tuple[Tuple[str, Any], ...] = ()
     cluster: ClusterSpec = DEFAULT_CLUSTER
+    retain_records: bool = True
 
     def __post_init__(self) -> None:
         # validate_params raises ValueError on an unknown scenario name

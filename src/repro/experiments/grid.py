@@ -25,6 +25,11 @@ from repro.experiments.parallel import EngineStats, ProgressCallback, run_config
 from repro.experiments.runner import ExperimentResult
 from repro.metrics.records import CallRecord
 from repro.metrics.stats import BoxStats, SummaryStats, box_stats, summarize
+from repro.metrics.streaming import (
+    StreamingSummary,
+    SummaryAccumulator,
+    merge_accumulators,
+)
 
 __all__ = [
     "GridSpec",
@@ -73,6 +78,13 @@ class GridSpec:
     ``nodes × balancers`` combination.  The defaults request exactly the
     classic single-node topology, keeping cell keys and results identical
     to the historical grid.
+
+    ``retain_records=False`` runs every cell in streaming mode: results
+    carry only the constant-size accumulator, record-derived grid views
+    raise :class:`~repro.experiments.runner.RecordsNotRetainedError`, and
+    the ``streaming_summary*`` views take over (exact counts/means/
+    makespans, sketched percentiles) — the memory-bounded spelling for
+    million-invocation sweeps.
     """
 
     cores: Tuple[int, ...] = PAPER_CORES
@@ -92,6 +104,8 @@ class GridSpec:
     balancer_params: Tuple[Tuple[str, Any], ...] = ()
     #: Attach the reactive autoscaler (default config) to every topology.
     autoscale: bool = False
+    #: ``False`` runs every cell in streaming (constant-memory) mode.
+    retain_records: bool = True
 
     @classmethod
     def quick(cls) -> "GridSpec":
@@ -301,11 +315,44 @@ class GridResults:
     def pooled_records_for(self, key: CellKey) -> List[CallRecord]:
         pooled: List[CallRecord] = []
         for result in self.cells[key]:
-            pooled.extend(result.records)
+            pooled.extend(
+                result._require_records(
+                    "GridResults.pooled_records_for()",
+                    "pooled_accumulator_for() / streaming_summary_for()",
+                )
+            )
         return pooled
 
     def summary_for(self, key: CellKey) -> SummaryStats:
         return summarize(self.pooled_records_for(key))
+
+    def pooled_accumulator_for(self, key: CellKey) -> SummaryAccumulator:
+        """The cell's per-seed accumulators pooled into one (the streaming
+        counterpart of :meth:`pooled_records_for`): exact fields pool
+        bit-identically regardless of merge order.  Works on retained
+        results too (folding each result's records when no accumulator
+        was attached)."""
+        accumulators = []
+        for result in self.cells[key]:
+            if result.accumulator is not None:
+                accumulators.append(result.accumulator)
+            else:
+                acc = SummaryAccumulator()
+                for record in result._require_records(
+                    "GridResults.pooled_accumulator_for() on a result with "
+                    "neither accumulator nor records",
+                    "results produced by run_experiment (which always "
+                    "attaches an accumulator)",
+                ):
+                    acc.add(record)
+                accumulators.append(acc)
+        return merge_accumulators(accumulators)
+
+    def streaming_summary_for(self, key: CellKey) -> StreamingSummary:
+        """Table-III style aggregate over pooled seeds from constant-size
+        state: counts, means, cold starts and makespan exact; percentiles
+        within the sketch's rank bound."""
+        return self.pooled_accumulator_for(key).summary()
 
     def pooled_records(
         self,
@@ -332,6 +379,19 @@ class GridResults:
         """Table-III style aggregate over pooled seeds."""
         return summarize(
             self.pooled_records(cores, intensity, strategy, nodes, balancer)
+        )
+
+    def streaming_summary(
+        self,
+        cores: int,
+        intensity: int,
+        strategy: str,
+        nodes: Optional[int] = None,
+        balancer: Optional[str] = None,
+    ) -> StreamingSummary:
+        """Selector-flavoured :meth:`streaming_summary_for`."""
+        return self.streaming_summary_for(
+            self._key(cores, intensity, strategy, nodes, balancer)
         )
 
     def per_seed_summaries(
@@ -423,6 +483,7 @@ def run_grid(
             scenario_params=spec.scenario_params,
             policy_params=policy_params[strategy],
             cluster=variant,
+            retain_records=spec.retain_records,
         )
         for cores, intensity, strategy in spec.cells()
         for variant in variants

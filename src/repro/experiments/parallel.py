@@ -48,6 +48,7 @@ from repro.experiments.runner import (
     run_multi_node_experiment,
 )
 from repro.metrics.serialize import records_from_dicts, records_to_dicts
+from repro.metrics.streaming import SummaryAccumulator
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
@@ -73,7 +74,9 @@ ProgressCallback = Callable[[int, int, str, bool], None]
 #: v3: configs carry ``cluster`` (ClusterSpec) and results carry
 #: ``balancer_stats`` (cluster routing diagnostics).
 #: v4: configs carry ``policy_params`` (scheduling-policy registry).
-CACHE_SCHEMA_VERSION = 4
+#: v5: configs carry ``retain_records``; results carry ``accumulator``
+#: (streaming metrics fold) and ``records`` may be ``null``.
+CACHE_SCHEMA_VERSION = 5
 
 _CONFIG_TYPES = {
     "ExperimentConfig": ExperimentConfig,
@@ -141,22 +144,35 @@ def config_fingerprint(config: AnyConfig, *, namespace: str = "") -> str:
 
 
 def result_to_payload(result: ExperimentResult) -> Dict[str, Any]:
-    """A JSON-compatible payload for one experiment result."""
+    """A JSON-compatible payload for one experiment result.
+
+    Streaming results (``records is None``) serialize a ``null`` record
+    list plus the constant-size accumulator — a cached million-invocation
+    streaming cell stays a few hundred bytes on disk.
+    """
     return {
         "config": config_to_dict(result.config),
-        "records": records_to_dicts(result.records),
+        "records": None if result.records is None else records_to_dicts(result.records),
         "node_stats": result.node_stats,
         "balancer_stats": result.balancer_stats,
+        "accumulator": (
+            None if result.accumulator is None else result.accumulator.to_dict()
+        ),
     }
 
 
 def result_from_payload(payload: Dict[str, Any]) -> ExperimentResult:
     """Inverse of :func:`result_to_payload`."""
+    records = payload["records"]
+    accumulator = payload.get("accumulator")
     return ExperimentResult(
         config=config_from_dict(payload["config"]),
-        records=records_from_dicts(payload["records"]),
+        records=None if records is None else records_from_dicts(records),
         node_stats=payload["node_stats"],
         balancer_stats=payload.get("balancer_stats"),
+        accumulator=(
+            None if accumulator is None else SummaryAccumulator.from_dict(accumulator)
+        ),
     )
 
 

@@ -20,6 +20,7 @@ from repro.cluster.platform import FaaSPlatform
 from repro.experiments.config import ExperimentConfig, MultiNodeConfig
 from repro.metrics.records import CallRecord
 from repro.metrics.stats import SummaryStats, summarize
+from repro.metrics.streaming import StreamingSummary, SummaryAccumulator
 from repro.node.baseline import BaselineInvoker
 from repro.node.config import NodeConfig
 from repro.node.invoker import Invoker
@@ -27,11 +28,12 @@ from repro.sim.core import Environment
 from repro.sim.rng import RngRegistry
 from repro.workload.functions import sebs_catalog
 from repro.workload.generator import BurstScenario
-from repro.workload.registry import build_scenario
+from repro.workload.registry import build_scenario, build_scenario_stream
 from repro.workload.scenarios import multi_node_burst
 
 __all__ = [
     "ExperimentResult",
+    "RecordsNotRetainedError",
     "run_experiment",
     "run_multi_node_experiment",
     "run_repetitions",
@@ -40,47 +42,131 @@ __all__ = [
 AnyConfig = Union[ExperimentConfig, MultiNodeConfig]
 
 
+class RecordsNotRetainedError(RuntimeError):
+    """A record-derived view was requested from a streaming result.
+
+    Raised *before* any iteration starts, with the accessor's name and the
+    streaming alternative, instead of letting ``None`` crash mid-pipeline
+    deep inside a metrics aggregation.
+    """
+
+    def __init__(self, what: str, alternative: str) -> None:
+        super().__init__(
+            f"{what} requires retained call records, but this result was "
+            f"produced with retain_records=False (streaming mode); use "
+            f"{alternative}, or rerun with retain_records=True"
+        )
+        self.what = what
+        self.alternative = alternative
+
+
 @dataclass
 class ExperimentResult:
-    """Everything one run produced."""
+    """Everything one run produced.
+
+    ``records`` holds the full per-call list on retained runs (the
+    default) and ``None`` on streaming runs (``retain_records=False``),
+    where only the constant-size ``accumulator`` exists.  Record-derived
+    accessors raise :class:`RecordsNotRetainedError` on streaming results;
+    :meth:`streaming_summary` and :attr:`cold_starts` work on both.
+    """
 
     config: AnyConfig
-    records: List[CallRecord]
+    records: Optional[List[CallRecord]]
     #: Per-invoker diagnostics.
     node_stats: List[Dict[str, float]]
     #: Cluster routing diagnostics (balancer name, picks, spills, spill
     #: rate, autoscaler scale events); ``None`` on the classic
     #: single-node path, where no routing decisions exist.
     balancer_stats: Optional[Dict[str, Any]] = None
+    #: Constant-size streaming fold of every completed call (populated by
+    #: the runner in both modes; ``None`` only on legacy pre-streaming
+    #: results and hand-built instances, where :meth:`streaming_summary`
+    #: falls back to folding the retained records).
+    accumulator: Optional[SummaryAccumulator] = None
+
+    @property
+    def retained(self) -> bool:
+        """Whether the full call-record list was kept."""
+        return self.records is not None
+
+    def _require_records(self, what: str, alternative: str) -> List[CallRecord]:
+        if self.records is None:
+            raise RecordsNotRetainedError(what, alternative)
+        return self.records
 
     def summary(self) -> SummaryStats:
-        return summarize(self.records)
+        """Exact summary statistics from the retained records; streaming
+        results raise — use :meth:`streaming_summary` there (exact counts
+        and means, sketched percentiles)."""
+        return summarize(
+            self._require_records("ExperimentResult.summary()", "streaming_summary()")
+        )
+
+    def streaming_summary(self) -> StreamingSummary:
+        """Summary from the constant-size accumulator: ``n_calls``,
+        means, ``cold_starts`` and ``max_completion_time`` are exact
+        (bit-identical to a retained run); percentiles are t-digest
+        estimates within :meth:`~repro.metrics.streaming.TDigest
+        .rank_error_bound`.  Works on retained results too (folding the
+        records on the fly when no accumulator was attached)."""
+        if self.accumulator is not None:
+            return self.accumulator.summary()
+        acc = SummaryAccumulator()
+        for record in self._require_records(
+            "ExperimentResult.streaming_summary()", "a result with an accumulator"
+        ):
+            acc.add(record)
+        return acc.summary()
 
     def records_for(self, function_name: str) -> List[CallRecord]:
-        return [r for r in self.records if r.function_name == function_name]
+        records = self._require_records(
+            "ExperimentResult.records_for()", "streaming_summary()"
+        )
+        return [r for r in records if r.function_name == function_name]
 
     @property
     def response_times(self) -> List[float]:
-        return [r.response_time for r in self.records]
+        records = self._require_records(
+            "ExperimentResult.response_times",
+            "streaming_summary().mean_response_time / .response_time_percentiles",
+        )
+        return [r.response_time for r in records]
 
     @property
     def stretches(self) -> List[float]:
-        return [r.stretch for r in self.records]
+        records = self._require_records(
+            "ExperimentResult.stretches",
+            "streaming_summary().mean_stretch / .stretch_percentiles",
+        )
+        return [r.stretch for r in records]
 
     @property
     def makespan(self) -> float:
         """``max c(i)`` — the moment the last response reached its client."""
-        return max(r.completed_at for r in self.records)
+        records = self._require_records(
+            "ExperimentResult.makespan",
+            "streaming_summary().max_completion_time (the identical value)",
+        )
+        return max(r.completed_at for r in records)
 
     @property
     def cold_starts(self) -> int:
-        return sum(1 for r in self.records if r.cold_start)
+        """Cold-started calls — exact in both modes (the accumulator
+        tallies cold starts at completion time)."""
+        if self.records is not None:
+            return sum(1 for r in self.records if r.cold_start)
+        return self.accumulator.cold_starts  # type: ignore[union-attr]
 
     def cluster_summary(self):
         """Per-node breakdown (utilization, imbalance, spill rate); see
         :func:`repro.metrics.cluster.cluster_breakdown`."""
         from repro.metrics.cluster import cluster_breakdown
 
+        self._require_records(
+            "ExperimentResult.cluster_summary()",
+            "node_stats (per-invoker diagnostics survive streaming runs)",
+        )
         return cluster_breakdown(self)
 
 
@@ -97,7 +183,7 @@ def _node_stats(invoker: Union[Invoker, BaselineInvoker]) -> Dict[str, float]:
         "cpu_utilization": invoker.cpu.utilization(),
         "daemon_utilization": invoker.daemon.utilization(),
         "daemon_ops": dict(invoker.daemon.op_counts),
-        "completed": len(invoker.completed),
+        "completed": invoker.completed_count,
     }
 
 
@@ -116,24 +202,6 @@ def _build_invoker(
     return Invoker(env, node_config, policy=config.policy, name=name, policy_params=params)
 
 
-def _build_scenario(config: ExperimentConfig, rngs: RngRegistry) -> BurstScenario:
-    """Build the config's workload through the scenario registry.
-
-    Any scenario registered via
-    :func:`repro.workload.registry.register_scenario` is runnable here —
-    and therefore through the grid, the parallel engine, the cache, and
-    the CLI — without touching this module.
-    """
-    return build_scenario(
-        config.scenario,
-        config.cores,
-        config.intensity,
-        rngs.get("scenario"),
-        window=config.window_s,
-        params=config.scenario_kwargs(),
-    )
-
-
 def _require_requests(config: ExperimentConfig, scenario: BurstScenario) -> None:
     if len(scenario) == 0:
         # Stochastic scenarios (poisson/diurnal/trace with tiny rates, or a
@@ -145,6 +213,61 @@ def _require_requests(config: ExperimentConfig, scenario: BurstScenario) -> None
             f"{config.label()} (params {dict(config.scenario_params)}); "
             f"increase the rate/counts or the window"
         )
+
+
+def _retains_records(config: AnyConfig) -> bool:
+    """Whether this run keeps full records (legacy configs always do)."""
+    return bool(getattr(config, "retain_records", True))
+
+
+def _build_workload(config: ExperimentConfig, rngs: RngRegistry):
+    """The config's workload through the scenario registry: materialised
+    (retained mode, the exact historical path) or a lazy
+    :class:`~repro.workload.generator.RequestStream` (streaming mode).
+
+    Any scenario registered via
+    :func:`repro.workload.registry.register_scenario` is runnable here —
+    and therefore through the grid, the parallel engine, the cache, and
+    the CLI — without touching this module.
+    """
+    builder = build_scenario if _retains_records(config) else build_scenario_stream
+    return builder(
+        config.scenario,
+        config.cores,
+        config.intensity,
+        rngs.get("scenario"),
+        window=config.window_s,
+        params=config.scenario_kwargs(),
+    )
+
+
+def _drive_platform(
+    config: AnyConfig, platform: FaaSPlatform, workload
+) -> "tuple[Optional[List[CallRecord]], SummaryAccumulator]":
+    """Run *workload* through *platform*, folding every completed call
+    into a fresh accumulator; returns ``(records-or-None, accumulator)``.
+
+    The accumulator folds in **both** modes, at the same (completion-
+    order) moments, so streaming and retained runs produce bit-identical
+    accumulator state by construction.
+    """
+    retain = _retains_records(config)
+    accumulator = SummaryAccumulator()
+    if not retain:
+        for invoker in platform.invokers:
+            invoker.retain_completed = False
+    records = platform.run_scenario(
+        workload, retain_records=retain, collector=accumulator
+    )
+    if not retain and accumulator.n_calls == 0:
+        # The streaming counterpart of _require_requests: a stream's
+        # emptiness is only observable after draining it.
+        raise ValueError(
+            f"scenario {config.scenario!r} produced no requests for "
+            f"{config.label()} (params {dict(config.scenario_params)}); "
+            f"increase the rate/counts or the window"
+        )
+    return (records if retain else None), accumulator
 
 
 def run_experiment(config: ExperimentConfig) -> ExperimentResult:
@@ -164,11 +287,17 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     if config.warmup:
         invoker.warm_up(catalog)
 
-    scenario = _build_scenario(config, rngs)
-    _require_requests(config, scenario)
+    workload = _build_workload(config, rngs)
+    if _retains_records(config):
+        _require_requests(config, workload)
     platform = FaaSPlatform(env, [invoker])
-    records = platform.run_scenario(scenario)
-    return ExperimentResult(config=config, records=records, node_stats=[_node_stats(invoker)])
+    records, accumulator = _drive_platform(config, platform, workload)
+    return ExperimentResult(
+        config=config,
+        records=records,
+        node_stats=[_node_stats(invoker)],
+        accumulator=accumulator,
+    )
 
 
 def _run_cluster_experiment(config: ExperimentConfig) -> ExperimentResult:
@@ -198,8 +327,9 @@ def _run_cluster_experiment(config: ExperimentConfig) -> ExperimentResult:
         for invoker in invokers:
             invoker.warm_up(catalog)
 
-    scenario = _build_scenario(config, rngs)
-    _require_requests(config, scenario)
+    workload = _build_workload(config, rngs)
+    if _retains_records(config):
+        _require_requests(config, workload)
 
     balancer_kwargs = cluster.balancer_kwargs()
     balancer = make_balancer(
@@ -230,7 +360,7 @@ def _run_cluster_experiment(config: ExperimentConfig) -> ExperimentResult:
         )
 
     platform = FaaSPlatform(env, invokers, balancer=balancer)
-    records = platform.run_scenario(scenario)
+    records, accumulator = _drive_platform(config, platform, workload)
     if autoscaler is not None:
         autoscaler.stop()
 
@@ -247,6 +377,7 @@ def _run_cluster_experiment(config: ExperimentConfig) -> ExperimentResult:
         records=records,
         node_stats=[_node_stats(invoker) for invoker in invokers],
         balancer_stats=balancer_stats,
+        accumulator=accumulator,
     )
 
 
@@ -266,11 +397,12 @@ def run_multi_node_experiment(config: MultiNodeConfig) -> ExperimentResult:
     scenario = multi_node_burst(config.total_requests, rngs.get("scenario"), window=config.window_s)
     balancer = make_balancer(config.balancer, invokers)
     platform = FaaSPlatform(env, invokers, balancer=balancer)
-    records = platform.run_scenario(scenario)
+    records, accumulator = _drive_platform(config, platform, scenario)
     return ExperimentResult(
         config=config,
         records=records,
         node_stats=[_node_stats(inv) for inv in invokers],
+        accumulator=accumulator,
     )
 
 

@@ -17,6 +17,14 @@ from repro.metrics.serialize import (
     records_from_dicts,
     records_to_dicts,
 )
+from repro.metrics.streaming import (
+    ExactSum,
+    MetricsAccumulator,
+    StreamingSummary,
+    SummaryAccumulator,
+    TDigest,
+    merge_accumulators,
+)
 
 __all__ = [
     "BoxStats",
@@ -24,7 +32,13 @@ __all__ = [
     "ClusterBreakdown",
     "NodeUsage",
     "cluster_breakdown",
+    "ExactSum",
+    "MetricsAccumulator",
+    "StreamingSummary",
+    "SummaryAccumulator",
     "SummaryStats",
+    "TDigest",
+    "merge_accumulators",
     "box_stats",
     "format_table",
     "percentile",

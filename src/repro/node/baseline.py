@@ -64,7 +64,11 @@ class BaselineInvoker:
         self.pool.bootstrap_prewarm()
         self._queue: Deque[Tuple["Request", NodeCallInfo, Event]] = deque()
         self._running = 0
+        #: Per-call timelines (O(calls) memory); streaming runs set
+        #: :attr:`retain_completed` to ``False`` to keep only the counter.
         self.completed: List[NodeCallInfo] = []
+        self.completed_count = 0
+        self.retain_completed = True
         self.submitted = 0
 
     # ------------------------------------------------------------------
@@ -78,7 +82,7 @@ class BaselineInvoker:
 
     @property
     def outstanding(self) -> int:
-        return self.submitted - len(self.completed)
+        return self.submitted - self.completed_count
 
     def warm_up(self, specs: "List[FunctionSpec]", per_function: Optional[int] = None) -> None:
         """Same warm-up protocol as our invoker: up to ``cores`` warm
@@ -171,7 +175,9 @@ class BaselineInvoker:
 
         self.pool.release(container)
         info.finished_at = env.now
-        self.completed.append(info)
+        if self.retain_completed:
+            self.completed.append(info)
+        self.completed_count += 1
         self._running -= 1
         done.succeed(info)
         # A container and possibly memory freed: retry the queue head.

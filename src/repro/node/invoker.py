@@ -116,7 +116,11 @@ class Invoker:
             )
         self.queue: StablePriorityQueue = StablePriorityQueue()
         self._busy = 0
+        #: Per-call timelines (O(calls) memory); streaming runs set
+        #: :attr:`retain_completed` to ``False`` to keep only the counter.
         self.completed: List[NodeCallInfo] = []
+        self.completed_count = 0
+        self.retain_completed = True
         self.submitted = 0
 
     # ------------------------------------------------------------------
@@ -132,7 +136,7 @@ class Invoker:
     @property
     def outstanding(self) -> int:
         """Calls received but not yet finished."""
-        return self.submitted - len(self.completed)
+        return self.submitted - self.completed_count
 
     def warm_up(self, specs: "List[FunctionSpec]", per_function: Optional[int] = None) -> None:
         """Materialise the paper's warm-up (Sect. V-A): up to ``cores``
@@ -248,7 +252,9 @@ class Invoker:
         self.policy.on_completed(request, info.processing_time)
         self.pool.release(container)
         info.finished_at = env.now
-        self.completed.append(info)
+        if self.retain_completed:
+            self.completed.append(info)
+        self.completed_count += 1
         self._busy -= 1
         done.succeed(info)
         self._maybe_dispatch()

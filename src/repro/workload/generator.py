@@ -9,7 +9,7 @@ no further requests arrive and the system drains.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from typing import Callable, Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -18,6 +18,7 @@ from repro.workload.functions import FunctionSpec
 __all__ = [
     "Request",
     "BurstScenario",
+    "RequestStream",
     "requests_for_intensity",
     "poisson_arrivals",
     "draw_requests",
@@ -167,6 +168,14 @@ class BurstScenario:
     def __iter__(self):
         return iter(self.requests)
 
+    def arrivals(self) -> Iterator[Request]:
+        """The lazy-arrival contract: requests in non-decreasing
+        release-time order.  For a materialised scenario this is just
+        iteration (``__post_init__`` already sorted); streaming workloads
+        implement the same method without holding the full list
+        (:class:`RequestStream`)."""
+        return iter(self.requests)
+
     @property
     def functions(self) -> List[FunctionSpec]:
         """Distinct functions appearing in the scenario (stable order)."""
@@ -208,3 +217,59 @@ class BurstScenario:
 
     def total_cpu_work(self) -> float:
         return sum(r.cpu_work for r in self.requests)
+
+
+class RequestStream:
+    """A lazy workload: requests yielded in release-time order, never all
+    materialised at once.
+
+    The streaming counterpart of :class:`BurstScenario` for the platform's
+    lazy-injection path (see ``FaaSPlatform.run_scenario``).  A stream
+    deliberately has **no** ``__len__`` — the total request count is
+    unknown until the stream is drained — which is also how the platform
+    tells the two workload shapes apart.
+
+    Contract
+    --------
+    * :meth:`arrivals` yields :class:`Request` objects in **non-decreasing
+      release-time order** (ties broken by ``rid``, matching
+      :class:`BurstScenario`'s sort).  The platform enforces the ordering
+      at injection time and fails loudly on a violation.
+    * A stream is **single-use**: the factory typically consumes RNG state
+      and/or a file handle, so ``arrivals`` may only be called once.
+    * Peak memory while iterating should be bounded by the workload's
+      *concurrency*, not its length, for truly streaming sources (CSV
+      replay); deferred-build wrappers around materialising builders
+      (see ``ScenarioSpec.build_stream``) keep the O(n) list internal to
+      the generator instead.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], Iterator[Request]],
+        window: Optional[float] = None,
+        label: str = "",
+    ) -> None:
+        self.factory = factory
+        #: Emission window in seconds when known up front (``None`` for
+        #: sources whose extent is only known once drained, e.g. replay).
+        self.window = window
+        self.label = label
+        self._consumed = False
+
+    def arrivals(self) -> Iterator[Request]:
+        """The request generator (single-use; see the class contract)."""
+        if self._consumed:
+            raise RuntimeError(
+                f"RequestStream {self.label!r} was already consumed; streams "
+                f"are single-use (they drain RNG state and file handles) — "
+                f"build a fresh one to replay the workload"
+            )
+        self._consumed = True
+        return self.factory()
+
+    def __iter__(self) -> Iterator[Request]:
+        return self.arrivals()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<RequestStream {self.label!r} window={self.window}>"

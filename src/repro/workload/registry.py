@@ -30,7 +30,7 @@ only because builders honour this contract.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as _dc_replace
 from typing import (
     Any,
     Callable,
@@ -46,7 +46,7 @@ from typing import (
 import numpy as np
 
 from repro.workload.functions import FunctionSpec
-from repro.workload.generator import BURST_WINDOW_S, BurstScenario
+from repro.workload.generator import BURST_WINDOW_S, BurstScenario, RequestStream
 
 __all__ = [
     "REQUIRED",
@@ -55,9 +55,11 @@ __all__ = [
     "ScenarioRegistry",
     "SCENARIOS",
     "register_scenario",
+    "register_stream_builder",
     "get_scenario",
     "scenario_names",
     "build_scenario",
+    "build_scenario_stream",
 ]
 
 #: Builder contract: ``builder(cores, intensity, rng, *, window, catalog,
@@ -113,6 +115,12 @@ class ScenarioSpec:
     #: ``"extension"`` for workloads beyond the paper's evaluation.
     paper_section: str
     params: Tuple[ScenarioParam, ...] = ()
+    #: Optional truly-streaming builder returning a
+    #: :class:`~repro.workload.generator.RequestStream` (same signature
+    #: as :attr:`builder`); attached via :func:`register_stream_builder`.
+    #: Scenarios without one stream through the generic deferred-build
+    #: wrapper (see :meth:`build_stream`).
+    stream_builder: Optional[ScenarioBuilder] = None
 
     def param_names(self) -> List[str]:
         return [p.name for p in self.params]
@@ -162,6 +170,40 @@ class ScenarioSpec:
         kwargs = self.validate_params(params)
         return self.builder(cores, intensity, rng, window=window, catalog=catalog, **kwargs)
 
+    def build_stream(
+        self,
+        cores: int,
+        intensity: int,
+        rng: np.random.Generator,
+        *,
+        window: float = BURST_WINDOW_S,
+        catalog: Optional[Sequence[FunctionSpec]] = None,
+        params: Optional[Mapping[str, Any]] = None,
+    ) -> RequestStream:
+        """Build the scenario as a lazy :class:`RequestStream`.
+
+        Scenarios with a registered streaming builder (currently
+        ``replay``) produce requests in truly bounded memory.  Every other
+        scenario goes through a *deferred-build* wrapper: the materialising
+        builder runs only when the platform first pulls arrivals, and the
+        request list stays internal to the generator — same RNG draw
+        order, same requests, same injection order as the retained path,
+        so streaming results match retained ones exactly.
+        """
+        kwargs = self.validate_params(params)
+        if self.stream_builder is not None:
+            return self.stream_builder(
+                cores, intensity, rng, window=window, catalog=catalog, **kwargs
+            )
+
+        def deferred() -> Iterator[Any]:
+            scenario = self.builder(
+                cores, intensity, rng, window=window, catalog=catalog, **kwargs
+            )
+            return scenario.arrivals()
+
+        return RequestStream(deferred, window=window, label=f"{self.name} (deferred)")
+
 
 class ScenarioRegistry:
     """Name → :class:`ScenarioSpec` map with registration helpers."""
@@ -197,6 +239,33 @@ class ScenarioRegistry:
                 paper_section=paper_section,
                 params=tuple(params),
             )
+            return builder
+
+        return decorate
+
+    def register_stream(self, name: str) -> Callable[[ScenarioBuilder], ScenarioBuilder]:
+        """Decorator attaching a truly-streaming builder to the already
+        registered scenario *name* (see :meth:`ScenarioSpec.build_stream`).
+
+        The streaming builder must produce the *same* requests — same
+        rids, release times, functions, and service times, drawn from the
+        RNG in the same order — as the materialising builder, just
+        lazily; the streaming-vs-retained equivalence tests enforce this.
+        """
+
+        def decorate(builder: ScenarioBuilder) -> ScenarioBuilder:
+            spec = self._specs.get(name)
+            if spec is None:
+                raise ValueError(
+                    f"cannot attach a stream builder: scenario {name!r} is "
+                    f"not registered (register the scenario first)"
+                )
+            if spec.stream_builder is not None:
+                raise ValueError(
+                    f"scenario {name!r} already has a stream builder "
+                    f"(from {spec.stream_builder.__module__})"
+                )
+            self._specs[name] = _dc_replace(spec, stream_builder=builder)
             return builder
 
         return decorate
@@ -268,6 +337,13 @@ def register_scenario(
     )
 
 
+def register_stream_builder(name: str) -> Callable[[ScenarioBuilder], ScenarioBuilder]:
+    """Attach a truly-streaming builder to an already registered scenario
+    in the default registry (decorator; see
+    :meth:`ScenarioRegistry.register_stream`)."""
+    return SCENARIOS.register_stream(name)
+
+
 def get_scenario(name: str) -> ScenarioSpec:
     """The registered spec for *name* (built-ins loaded on demand)."""
     _load_builtin_scenarios()
@@ -294,5 +370,24 @@ def build_scenario(
     used by the experiment runner, so every registered scenario composes
     with the parallel engine and its cache automatically."""
     return get_scenario(name).build(
+        cores, intensity, rng, window=window, catalog=catalog, params=params
+    )
+
+
+def build_scenario_stream(
+    name: str,
+    cores: int,
+    intensity: int,
+    rng: np.random.Generator,
+    *,
+    window: float = BURST_WINDOW_S,
+    catalog: Optional[Sequence[FunctionSpec]] = None,
+    params: Optional[Mapping[str, Any]] = None,
+) -> RequestStream:
+    """Build the scenario registered under *name* as a lazy
+    :class:`~repro.workload.generator.RequestStream` — the entry point of
+    the runner's ``retain_records=False`` path (see
+    :meth:`ScenarioSpec.build_stream` for the streaming semantics)."""
+    return get_scenario(name).build_stream(
         cores, intensity, rng, window=window, catalog=catalog, params=params
     )

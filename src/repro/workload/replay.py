@@ -36,10 +36,21 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, TextIO, U
 import numpy as np
 
 from repro.workload.functions import FunctionSpec, sebs_catalog
-from repro.workload.generator import BurstScenario, Request
-from repro.workload.registry import REQUIRED, ScenarioParam, register_scenario
+from repro.workload.generator import BurstScenario, Request, RequestStream
+from repro.workload.registry import (
+    REQUIRED,
+    ScenarioParam,
+    register_scenario,
+    register_stream_builder,
+)
 
-__all__ = ["TraceRow", "iter_trace_rows", "replay_scenario", "write_trace_csv"]
+__all__ = [
+    "TraceRow",
+    "iter_trace_rows",
+    "replay_scenario",
+    "replay_stream",
+    "write_trace_csv",
+]
 
 #: Expected CSV column order.
 TRACE_COLUMNS = ("app", "func", "minute", "count")
@@ -209,6 +220,82 @@ def replay_scenario(
     return BurstScenario(requests=requests, window=window, label=label)
 
 
+def replay_stream(
+    source: RowSource,
+    rng: np.random.Generator,
+    catalog: Optional[Sequence[FunctionSpec]] = None,
+    *,
+    minute_s: float = 60.0,
+    namespace_functions: bool = True,
+    max_minutes: Optional[int] = None,
+    label: str = "replay",
+) -> RequestStream:
+    """Replay a trace as a lazy :class:`RequestStream` in bounded memory.
+
+    Produces the *exact* requests of :func:`replay_scenario` — same rids,
+    release times, functions, and service times (randomness is drawn from
+    *rng* in the same row order) — but never materialises the full list:
+    peak memory is one trace minute's worth of requests, so a
+    ten-million-invocation day replays in constant memory.
+
+    The lazy-injection contract requires requests in release-time order.
+    Minute buckets ``[m * minute_s, (m + 1) * minute_s)`` are disjoint, so
+    sorting each bucket locally reproduces the global sort — **provided
+    the rows arrive grouped by non-decreasing minute**.  A row whose
+    minute goes backwards raises :class:`ValueError` naming the offending
+    row; sort the trace file by its ``minute`` column (e.g. ``sort -t, -k3
+    -n``) or fall back to the materialising ``retain_records=True`` path,
+    which accepts any row order.
+    """
+    if minute_s <= 0:
+        raise ValueError(f"minute_s must be positive, got {minute_s!r}")
+    catalog = list(catalog) if catalog is not None else sebs_catalog()
+
+    def generate() -> Iterator[Request]:
+        specs: Dict[str, FunctionSpec] = {}
+        bucket: List[Request] = []
+        bucket_minute = -1
+        rid = 0
+        for row in iter_trace_rows(source):
+            if max_minutes is not None and row.minute >= max_minutes:
+                continue
+            if row.minute < bucket_minute:
+                raise ValueError(
+                    f"streaming replay requires rows grouped by "
+                    f"non-decreasing minute, but row "
+                    f"{row.app}/{row.func} has minute {row.minute} after "
+                    f"minute {bucket_minute}; sort the trace by its minute "
+                    f"column or run with retain_records=True (the "
+                    f"materialising path accepts any row order)"
+                )
+            if row.minute > bucket_minute:
+                bucket.sort(key=lambda r: (r.release_time, r.rid))
+                yield from bucket
+                bucket = []
+                bucket_minute = row.minute
+            if row.count == 0:
+                continue
+            spec = specs.get(row.key)
+            if spec is None:
+                base = catalog[_fnv1a(row.key) % len(catalog)]
+                spec = (
+                    replace(base, name=f"{row.key}#{base.name}")
+                    if namespace_functions
+                    else base
+                )
+                specs[row.key] = spec
+            start = row.minute * minute_s
+            arrivals = rng.uniform(start, start + minute_s, size=row.count)
+            services = spec.service_distribution.sample(rng, size=row.count)
+            for arrival, service in zip(arrivals, services):
+                bucket.append(Request(rid, spec, float(arrival), float(service)))
+                rid += 1
+        bucket.sort(key=lambda r: (r.release_time, r.rid))
+        yield from bucket
+
+    return RequestStream(generate, window=None, label=label)
+
+
 @register_scenario(
     "replay",
     description="Replay an Azure-shaped CSV trace (app,func,minute,count rows)",
@@ -228,6 +315,21 @@ def _replay(cores, intensity, rng, *, window, catalog, path, minute_s, namespace
     """Registry adapter.  The trace file defines the load, so ``cores`` and
     ``intensity`` are ignored (they still shape the node under test)."""
     return replay_scenario(
+        path,
+        rng,
+        catalog=catalog,
+        minute_s=float(minute_s),
+        namespace_functions=bool(namespace_functions),
+        max_minutes=None if max_minutes is None else int(max_minutes),
+        label=f"replay {Path(path).name}",
+    )
+
+
+@register_stream_builder("replay")
+def _replay_stream(cores, intensity, rng, *, window, catalog, path, minute_s, namespace_functions, max_minutes):
+    """Streaming registry adapter: same parameters, bounded memory
+    (requires the trace grouped by non-decreasing minute)."""
+    return replay_stream(
         path,
         rng,
         catalog=catalog,

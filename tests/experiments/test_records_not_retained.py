@@ -1,0 +1,119 @@
+"""Error paths of record-derived accessors on streaming results.
+
+A streaming result (``retain_records=False``) has no record list; every
+accessor that needs one must raise :class:`RecordsNotRetainedError` — a
+clear, actionable error naming the accessor and its streaming
+alternative — *before* any iteration starts, never a bare
+``TypeError: 'NoneType' object is not iterable`` from deep inside an
+aggregation.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.grid import GridResults, GridSpec, run_grid
+from repro.experiments.runner import RecordsNotRetainedError, run_experiment
+
+
+@pytest.fixture(scope="module")
+def streaming_result():
+    return run_experiment(
+        ExperimentConfig(
+            cores=4, intensity=20, policy="FC", retain_records=False
+        )
+    )
+
+
+class TestAccessorsRaise:
+    def test_summary(self, streaming_result):
+        with pytest.raises(RecordsNotRetainedError, match="streaming_summary"):
+            streaming_result.summary()
+
+    def test_records_for(self, streaming_result):
+        with pytest.raises(RecordsNotRetainedError, match="records_for"):
+            streaming_result.records_for("dna-visualisation")
+
+    def test_response_times(self, streaming_result):
+        with pytest.raises(RecordsNotRetainedError, match="response_times"):
+            streaming_result.response_times
+
+    def test_stretches(self, streaming_result):
+        with pytest.raises(RecordsNotRetainedError, match="stretches"):
+            streaming_result.stretches
+
+    def test_makespan_points_at_the_identical_value(self, streaming_result):
+        with pytest.raises(
+            RecordsNotRetainedError, match="max_completion_time"
+        ):
+            streaming_result.makespan
+
+    def test_cluster_summary(self, streaming_result):
+        with pytest.raises(RecordsNotRetainedError, match="node_stats"):
+            streaming_result.cluster_summary()
+
+    def test_error_is_a_runtime_error_with_guidance(self, streaming_result):
+        with pytest.raises(RuntimeError) as excinfo:
+            streaming_result.summary()
+        message = str(excinfo.value)
+        assert "retain_records=False" in message
+        assert "retain_records=True" in message  # how to get records back
+
+
+class TestStreamingAccessorsWork:
+    """The accessors that must keep working without records."""
+
+    def test_retained_flag(self, streaming_result):
+        assert streaming_result.retained is False
+        assert streaming_result.records is None
+
+    def test_streaming_summary(self, streaming_result):
+        summary = streaming_result.streaming_summary()
+        assert summary.n_calls == 88  # 1.1 * 4 cores * 20
+        assert summary.max_completion_time > 0
+
+    def test_cold_starts_is_exact_without_records(self, streaming_result):
+        assert streaming_result.cold_starts == streaming_result.accumulator.cold_starts
+
+    def test_node_stats_survive(self, streaming_result):
+        (stats,) = streaming_result.node_stats
+        assert stats["completed"] == 88
+
+
+class TestGridViews:
+    @pytest.fixture(scope="class")
+    def streaming_grid(self):
+        spec = GridSpec(
+            cores=(4,),
+            intensities=(20,),
+            strategies=("FC",),
+            seeds=(1, 2),
+            retain_records=False,
+        )
+        return run_grid(spec)
+
+    def test_pooled_records_raise(self, streaming_grid):
+        key = streaming_grid.cell_keys()[0]
+        with pytest.raises(RecordsNotRetainedError, match="pooled_records_for"):
+            streaming_grid.pooled_records_for(key)
+        with pytest.raises(RecordsNotRetainedError):
+            streaming_grid.summary_for(key)
+
+    def test_streaming_views_work(self, streaming_grid):
+        key = streaming_grid.cell_keys()[0]
+        pooled = streaming_grid.pooled_accumulator_for(key)
+        assert pooled.n_calls == 176  # 88 per seed, two seeds
+        assert streaming_grid.streaming_summary_for(key).n_calls == 176
+        assert streaming_grid.streaming_summary(4, 20, "FC").n_calls == 176
+
+    def test_streaming_views_work_on_retained_grids_too(self):
+        grid = run_grid(
+            GridSpec(cores=(4,), intensities=(20,), strategies=("FC",), seeds=(1,))
+        )
+        key = grid.cell_keys()[0]
+        # Retained grids answer both spellings, and they agree exactly on
+        # the exact fields.
+        exact = grid.summary_for(key)
+        sketch = grid.streaming_summary_for(key)
+        assert sketch.n_calls == exact.n_calls
+        assert sketch.cold_starts == exact.cold_starts
+        assert sketch.max_completion_time == exact.max_completion_time

@@ -1,0 +1,210 @@
+"""Streaming-vs-retained equivalence over every registered scenario.
+
+The streaming pipeline's contract (docs/STREAMING.md):
+
+* the **accumulator state is bit-identical** between a retained run and a
+  streaming run of the same config — the fold happens at the same
+  (completion-order) moments in both modes;
+* the exact fields — ``n_calls``, ``cold_starts``,
+  ``max_completion_time`` — equal the record-derived values exactly;
+  means agree with numpy's record-derived means to within a rounding ulp
+  (the accumulator's ``ExactSum`` mean is the correctly rounded one);
+* sketched percentiles sit within the t-digest's documented rank-error
+  bound of the exact record-derived quantiles;
+* ``jobs=2`` (the multiprocessing engine) returns byte-identical
+  accumulators to the serial path, and cross-worker/cross-seed merges are
+  merge-order-independent on every exact field.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import run_configs
+from repro.experiments.runner import run_experiment
+from repro.metrics.streaming import merge_accumulators
+from repro.workload.registry import scenario_names
+from repro.workload.replay import TraceRow, write_trace_csv
+
+#: Small but non-trivial workload parameters per registered scenario —
+#: every name in the registry must appear here (enforced below), so a
+#: newly registered scenario fails this suite until it is covered.
+SCENARIO_PARAMS = {
+    "uniform": {},
+    "skewed": {},
+    "azure": {},
+    "poisson": {},
+    "diurnal": {},
+    "trace": {},
+    "zipf-multitenant": {},
+    "multi-node": {"total_requests": 66},  # divisible by the 11 functions
+    "replay": None,  # needs a CSV path; filled by the fixture
+}
+
+POLICIES = ("FC", "baseline")
+
+TRACE_ROWS = [
+    TraceRow("app1", "f1", 0, 25),
+    TraceRow("app1", "f2", 0, 10),
+    TraceRow("app2", "f1", 1, 30),
+    TraceRow("app2", "f3", 2, 15),
+    TraceRow("app1", "f1", 3, 20),
+]
+
+
+@pytest.fixture(scope="module")
+def trace_csv(tmp_path_factory):
+    path = tmp_path_factory.mktemp("streaming") / "trace.csv"
+    write_trace_csv(path, TRACE_ROWS)
+    return str(path)
+
+
+def scenario_params(name, trace_csv):
+    params = SCENARIO_PARAMS[name]
+    if name == "replay":
+        return {"path": trace_csv}
+    return params
+
+
+def make_config(scenario, policy, trace_csv, **overrides):
+    kwargs = dict(
+        cores=4,
+        intensity=20,
+        policy=policy,
+        seed=1,
+        scenario=scenario,
+        scenario_params=scenario_params(scenario, trace_csv),
+    )
+    kwargs.update(overrides)
+    return ExperimentConfig(**kwargs)
+
+
+def test_every_registered_scenario_is_covered():
+    assert sorted(SCENARIO_PARAMS) == sorted(scenario_names()), (
+        "a scenario was (un)registered without updating the streaming "
+        "equivalence suite"
+    )
+
+
+def assert_equivalent(retained, streaming):
+    """The full contract between one retained and one streaming run."""
+    assert retained.retained and not streaming.retained
+    # Accumulator state folds identically in both modes.
+    assert retained.accumulator.to_dict() == streaming.accumulator.to_dict()
+
+    exact = retained.summary()
+    sketch = streaming.streaming_summary()
+    assert sketch.n_calls == exact.n_calls == len(retained.records)
+    assert sketch.cold_starts == exact.cold_starts
+    assert sketch.max_completion_time == retained.makespan
+    assert math.isclose(
+        sketch.mean_response_time, exact.mean_response_time, rel_tol=1e-12
+    )
+    assert math.isclose(sketch.mean_stretch, exact.mean_stretch, rel_tol=1e-12)
+
+    # Percentiles: the sketch estimate's rank among the exact values must
+    # be within the digest's rank bound (+1 rank of discretization slack).
+    n = exact.n_calls
+    for metric, digest in (
+        ("response_time", streaming.accumulator.response_digest),
+        ("stretch", streaming.accumulator.stretch_digest),
+    ):
+        data = sorted(getattr(r, metric) for r in retained.records)
+        for q in (50, 95, 99):
+            estimate = digest.percentile(q)
+            below = sum(1 for x in data if x < estimate)
+            at_most = sum(1 for x in data if x <= estimate)
+            slack = n * digest.rank_error_bound(q / 100.0) + 1.0
+            target = q / 100.0 * n
+            assert below <= target + slack and at_most >= target - slack, (
+                f"{metric} P{q}: sketch {estimate} at ranks "
+                f"[{below}, {at_most}], target {target:.1f} ± {slack:.2f}"
+            )
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIO_PARAMS))
+@pytest.mark.parametrize("policy", POLICIES)
+def test_streaming_matches_retained(scenario, policy, trace_csv):
+    config = make_config(scenario, policy, trace_csv)
+    retained = run_experiment(config)
+    streaming = run_experiment(config.with_(retain_records=False))
+    assert_equivalent(retained, streaming)
+
+
+def test_streaming_matches_retained_on_a_cluster(trace_csv):
+    config = make_config("uniform", "FC", trace_csv, cluster={"nodes": 2})
+    retained = run_experiment(config)
+    streaming = run_experiment(config.with_(retain_records=False))
+    assert_equivalent(retained, streaming)
+    assert streaming.balancer_stats == retained.balancer_stats
+
+
+def test_jobs2_streaming_is_bit_identical_to_serial(trace_csv):
+    """The multiprocessing engine must return byte-identical accumulators
+    (workers pickle results back across the process boundary)."""
+    configs = [
+        make_config("uniform", "FC", trace_csv, retain_records=False, seed=seed)
+        for seed in (1, 2)
+    ] + [
+        make_config("skewed", "baseline", trace_csv, retain_records=False, seed=seed)
+        for seed in (1, 2)
+    ]
+    serial = run_configs(configs, jobs=1)
+    parallel = run_configs(configs, jobs=2)
+    for s, p in zip(serial, parallel):
+        assert s.records is None and p.records is None
+        assert s.accumulator.to_dict() == p.accumulator.to_dict()
+        assert s.streaming_summary() == p.streaming_summary()
+
+
+def test_cross_seed_merge_is_order_independent(trace_csv):
+    """Pooling per-seed accumulators (the grid's streaming aggregate) must
+    give bit-identical exact fields in any merge order."""
+    results = [
+        run_experiment(
+            make_config("uniform", "FC", trace_csv, retain_records=False, seed=seed)
+        )
+        for seed in (1, 2, 3)
+    ]
+    accs = [r.accumulator for r in results]
+    forward = merge_accumulators(accs)
+    backward = merge_accumulators(list(reversed(accs)))
+    assert forward.n_calls == backward.n_calls == sum(a.n_calls for a in accs)
+    assert forward.cold_starts == backward.cold_starts
+    assert forward.max_completion_time == backward.max_completion_time
+    assert forward.response_sum.value == backward.response_sum.value
+    assert forward.stretch_sum.value == backward.stretch_sum.value
+    # Digest internals may differ with merge order; estimates must agree
+    # within the (pooled) rank bound — here spelled as a loose rel check.
+    for q in (50, 95, 99):
+        f = forward.response_digest.percentile(q)
+        b = backward.response_digest.percentile(q)
+        assert math.isclose(f, b, rel_tol=0.1) or abs(f - b) < 0.1
+
+
+def test_unsorted_replay_trace_fails_only_in_streaming_mode(
+    tmp_path, trace_csv
+):
+    """Streaming replay requires minute-sorted rows (it buckets on the
+    fly); the retained path materializes and sorts, so it still works —
+    and the streaming error says exactly that."""
+    unsorted_path = tmp_path / "unsorted.csv"
+    write_trace_csv(
+        unsorted_path,
+        [
+            TraceRow("app1", "f1", 2, 10),
+            TraceRow("app1", "f1", 0, 10),
+        ],
+    )
+    config = ExperimentConfig(
+        cores=4,
+        intensity=20,
+        policy="FC",
+        scenario="replay",
+        scenario_params={"path": str(unsorted_path)},
+    )
+    retained = run_experiment(config)  # materialized path sorts; fine
+    assert retained.streaming_summary().n_calls == 20
+    with pytest.raises(ValueError, match="non-decreasing minute"):
+        run_experiment(config.with_(retain_records=False))
