@@ -57,13 +57,27 @@ from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.cluster.controller import balancer_names
 from repro.cluster.spec import ClusterSpec
+from repro.experiments.adaptive import (
+    DEFAULT_DECISION_METRICS,
+    allocate_seeds,
+)
 from repro.experiments.config import BASELINE, ExperimentConfig
 from repro.experiments.grid import GridResults, GridSpec, run_grid
-from repro.experiments.parallel import ResultCache, WorkerError, progress_printer
+from repro.experiments.parallel import (
+    ResultCache,
+    WorkerError,
+    progress_printer,
+    run_configs,
+)
 from repro.experiments.registry import EXPERIMENTS, run_registered
 from repro.experiments.runner import run_experiment
 from repro.experiments.artifacts import table3_from_grid
 from repro.metrics.cluster import cluster_breakdown
+from repro.metrics.compare import (
+    COMPARE_METRICS,
+    compare_grid,
+    compare_results,
+)
 from repro.metrics.report import render_summary_table
 from repro.scheduling.registry import get_policy, policy_names
 from repro.workload.registry import get_scenario, scenario_names
@@ -248,6 +262,49 @@ def _add_cluster_arguments(
     )
 
 
+def _add_statistics_arguments(parser: argparse.ArgumentParser) -> None:
+    """Significance-testing knobs shared by ``compare`` and ``grid
+    --compare`` (see docs/COMPARISONS.md for the methodology)."""
+    parser.add_argument(
+        "--metrics",
+        nargs="+",
+        default=None,
+        choices=sorted(COMPARE_METRICS),
+        metavar="M",
+        help=(
+            "metrics to test (default: mean/p99 response time and stretch "
+            "plus cold starts); Holm correction spans every tested metric"
+        ),
+    )
+    parser.add_argument(
+        "--alpha",
+        type=float,
+        default=0.05,
+        metavar="A",
+        help="family-wise significance level after Holm correction (default: 0.05)",
+    )
+    parser.add_argument(
+        "--confidence",
+        type=float,
+        default=0.95,
+        metavar="C",
+        help="bootstrap confidence level for the mean-difference CI (default: 0.95)",
+    )
+    parser.add_argument(
+        "--resamples",
+        type=int,
+        default=2000,
+        metavar="N",
+        help="bootstrap resamples per CI (default: 2000)",
+    )
+    parser.add_argument(
+        "--ci-method",
+        choices=("bca", "percentile"),
+        default="bca",
+        help="bootstrap CI flavour (default: bca)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="faas-sched",
@@ -311,11 +368,80 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="render Table-IV style per-seed rows instead of pooled aggregates",
     )
+    grid.add_argument(
+        "--compare",
+        default=None,
+        choices=_policy_choices(),
+        metavar="REF",
+        help=(
+            "annotate the grid report with per-cell significance vs. this "
+            "reference strategy (Mann-Whitney U per metric, Holm-corrected "
+            "across the whole metric x cell family) and print the full "
+            "comparison tables"
+        ),
+    )
+    _add_statistics_arguments(grid)
     _add_engine_arguments(grid)
     _add_scenario_arguments(grid, default="uniform")
     _add_cluster_arguments(grid, sweep=True)
     _add_policy_param_argument(grid)
     _add_streaming_argument(grid)
+
+    comp = sub.add_parser(
+        "compare",
+        help=(
+            "statistically compare two policies over repeated seeds "
+            "(Mann-Whitney U, Cliff's delta, bootstrap CIs, Holm correction)"
+        ),
+    )
+    comp.add_argument("policy_a", choices=_policy_choices(), metavar="A")
+    comp.add_argument("policy_b", choices=_policy_choices(), metavar="B")
+    comp.add_argument("--cores", type=int, default=10)
+    comp.add_argument("--intensity", type=int, default=30)
+    comp.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="K",
+        help="explicit seed list (default: 1..N from --num-seeds)",
+    )
+    comp.add_argument(
+        "--num-seeds",
+        type=int,
+        default=20,
+        metavar="N",
+        help="repetitions per policy when --seeds is not given (default: 20)",
+    )
+    comp.add_argument(
+        "--adaptive",
+        action="store_true",
+        help=(
+            "adaptive seed allocation: start from the requested seeds and "
+            "add batches only while the corrected comparison has not "
+            "separated, up to --max-seeds (see docs/COMPARISONS.md)"
+        ),
+    )
+    comp.add_argument(
+        "--max-seeds",
+        type=int,
+        default=None,
+        metavar="N",
+        help="adaptive budget per policy (default: 4x the initial seeds)",
+    )
+    comp.add_argument(
+        "--batch",
+        type=int,
+        default=5,
+        metavar="N",
+        help="seeds added per adaptive round (default: 5)",
+    )
+    _add_statistics_arguments(comp)
+    _add_engine_arguments(comp)
+    _add_scenario_arguments(comp, default="uniform")
+    _add_cluster_arguments(comp, sweep=False)
+    _add_policy_param_argument(comp)
+    _add_streaming_argument(comp)
 
     sim = sub.add_parser("simulate", help="run one ad-hoc single-node experiment")
     sim.add_argument("--cores", type=int, default=10)
@@ -402,6 +528,153 @@ def _render_scenarios() -> str:
     return "\n".join(lines)
 
 
+def _render_annotated_grid(grid: GridResults, args: argparse.Namespace) -> str:
+    """The ``grid --compare REF`` report: the summary table with one
+    significance annotation per non-reference row, then the full
+    per-pair comparison tables."""
+    ref = args.compare
+    others = [s for s in grid.spec.strategies if s != ref]
+    if ref not in grid.spec.strategies or not others:
+        raise ValueError(
+            f"--compare {ref!r} needs the grid to sweep {ref!r} plus at "
+            f"least one other strategy (swept: {', '.join(grid.spec.strategies)})"
+        )
+    comparisons = [
+        compare_grid(
+            grid,
+            ref,
+            other,
+            metrics=args.metrics,
+            alpha=args.alpha,
+            confidence=args.confidence,
+            resamples=args.resamples,
+            ci_method=args.ci_method,
+        )
+        for other in others
+    ]
+    notes = {key: "" for key in grid.cell_keys()}
+    for comparison in comparisons:
+        for (key_a, key_b), (_, result) in zip(comparison.keys, comparison.cells):
+            notes[key_a] = "ref"
+            sig = len(result.significant())
+            notes[key_b] = f"{sig}/{len(result.comparisons)} sig vs {ref}"
+    if grid.spec.retain_records:
+        entries = [
+            (GridResults.cell_label(key), grid.summary_for(key))
+            for key in grid.cell_keys()
+        ]
+        mode_tag = ""
+    else:
+        entries = [
+            (GridResults.cell_label(key), grid.streaming_summary_for(key))
+            for key in grid.cell_keys()
+        ]
+        mode_tag = "; streaming: percentiles are t-digest estimates"
+    table = render_summary_table(
+        entries,
+        title=(
+            f"Grid vs. {ref} (Mann-Whitney U per metric, Holm-corrected "
+            f"at α={args.alpha:g}{mode_tag})"
+        ),
+        annotations=[notes[key] for key in grid.cell_keys()],
+    )
+    blocks = [table]
+    blocks.extend(comparison.render() for comparison in comparisons)
+    return "\n\n".join(blocks)
+
+
+def _run_compare(args: argparse.Namespace) -> int:
+    """The ``faas-sched compare A B`` verb."""
+    if args.policy_a == args.policy_b:
+        print(
+            f"error: comparing {args.policy_a!r} against itself is vacuous",
+            file=sys.stderr,
+        )
+        return 2
+    seeds = tuple(args.seeds) if args.seeds else tuple(range(1, args.num_seeds + 1))
+    if len(seeds) < 2:
+        print(
+            "error: a comparison needs at least 2 seeds per policy",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        # GridSpec's helper filters --policy-param per policy (and rejects
+        # a parameter neither policy declares), exactly like 'grid'.
+        policy_params = GridSpec(
+            strategies=(args.policy_a, args.policy_b),
+            policy_params=_parse_policy_params(args.policy_param),
+        ).policy_params_by_strategy()
+        cluster = ClusterSpec(
+            nodes=args.nodes if args.nodes is not None else 1,
+            balancer=args.balancer if args.balancer is not None else "least-loaded",
+            balancer_params=_parse_balancer_params(args.balancer_param),
+            autoscaler=() if args.autoscale else None,
+        )
+
+        def config_for(policy: str) -> ExperimentConfig:
+            return ExperimentConfig(
+                cores=args.cores,
+                intensity=args.intensity,
+                policy=policy,
+                scenario=args.scenario,
+                scenario_params=_parse_scenario_params(args.scenario_param),
+                policy_params=policy_params[policy],
+                cluster=cluster,
+                retain_records=args.retain_records,
+            )
+
+        if args.adaptive:
+            max_seeds = (
+                args.max_seeds if args.max_seeds is not None else 4 * len(seeds)
+            )
+            allocation = allocate_seeds(
+                config_for(args.policy_a),
+                config_for(args.policy_b),
+                decision_metrics=(
+                    tuple(args.metrics) if args.metrics else DEFAULT_DECISION_METRICS
+                ),
+                seeds=seeds,
+                initial_seeds=len(seeds),
+                max_seeds=max_seeds,
+                batch=args.batch,
+                alpha=args.alpha,
+                confidence=args.confidence,
+                resamples=args.resamples,
+                ci_method=args.ci_method,
+                jobs=args.jobs,
+                cache_dir=args.cache_dir,
+            )
+            print(allocation.comparison.render())
+            print()
+            print(allocation.describe())
+            return 0
+
+        configs = [config_for(args.policy_a).with_(seed=s) for s in seeds] + [
+            config_for(args.policy_b).with_(seed=s) for s in seeds
+        ]
+        results = run_configs(
+            configs,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            progress=None if args.no_progress else progress_printer(),
+        )
+    except (ValueError, OSError, WorkerError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    comparison = compare_results(
+        results[: len(seeds)],
+        results[len(seeds) :],
+        metrics=args.metrics,
+        alpha=args.alpha,
+        confidence=args.confidence,
+        resamples=args.resamples,
+        ci_method=args.ci_method,
+    )
+    print(comparison.render())
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -439,7 +712,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         return 2
 
-    if args.command in ("run", "grid") and args.cache_dir is not None:
+    if args.command in ("run", "grid", "compare") and args.cache_dir is not None:
         # Probe the cache root now: a bad --cache-dir should fail before
         # any experiment time is spent, not at the first store().
         try:
@@ -478,8 +751,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(report)
         return 0
 
+    if args.command == "compare":
+        return _run_compare(args)
+
     if args.command == "grid":
         spec = _grid_spec_from_args(args)
+        if args.compare is not None and args.per_seed:
+            print(
+                "error: --compare annotates pooled cell rows; drop --per-seed",
+                file=sys.stderr,
+            )
+            return 2
         try:
             grid = run_grid(
                 spec,
@@ -494,7 +776,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             # --jobs > 1.
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        if spec.retain_records:
+        if args.compare is not None:
+            try:
+                print(_render_annotated_grid(grid, args))
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        elif spec.retain_records:
             print(table3_from_grid(grid, per_seed=args.per_seed).render())
         else:
             # Streaming cells have no records for the Table-III renderer;

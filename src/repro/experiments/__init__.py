@@ -3,6 +3,12 @@ and one module per paper artifact (tables and figures).  See DESIGN.md §4
 for the full index.
 """
 
+from repro.experiments.adaptive import (
+    AdaptiveAllocation,
+    AdaptiveGridResult,
+    allocate_seeds,
+    run_adaptive_grid,
+)
 from repro.experiments.config import ExperimentConfig, MultiNodeConfig
 from repro.experiments.parallel import (
     EngineOptions,
@@ -21,6 +27,10 @@ from repro.experiments.runner import (
 )
 
 __all__ = [
+    "AdaptiveAllocation",
+    "AdaptiveGridResult",
+    "allocate_seeds",
+    "run_adaptive_grid",
     "EngineOptions",
     "EngineStats",
     "ExperimentConfig",

@@ -2,6 +2,23 @@
 
 from repro.metrics.ascii import render_boxplot
 from repro.metrics.cluster import ClusterBreakdown, NodeUsage, cluster_breakdown
+from repro.metrics.compare import (
+    COMPARE_METRICS,
+    DEFAULT_METRICS,
+    BootstrapCI,
+    ComparisonResult,
+    GridComparison,
+    MannWhitneyResult,
+    MetricComparison,
+    bootstrap_diff_ci,
+    cliffs_delta,
+    compare_grid,
+    compare_results,
+    compare_samples,
+    effect_magnitude,
+    holm_bonferroni,
+    mann_whitney_u,
+)
 from repro.metrics.records import CallRecord
 from repro.metrics.stats import (
     BoxStats,
@@ -27,8 +44,15 @@ from repro.metrics.streaming import (
 )
 
 __all__ = [
+    "BootstrapCI",
     "BoxStats",
+    "COMPARE_METRICS",
     "CallRecord",
+    "ComparisonResult",
+    "DEFAULT_METRICS",
+    "GridComparison",
+    "MannWhitneyResult",
+    "MetricComparison",
     "ClusterBreakdown",
     "NodeUsage",
     "cluster_breakdown",
@@ -39,8 +63,16 @@ __all__ = [
     "SummaryStats",
     "TDigest",
     "merge_accumulators",
+    "bootstrap_diff_ci",
     "box_stats",
+    "cliffs_delta",
+    "compare_grid",
+    "compare_results",
+    "compare_samples",
+    "effect_magnitude",
     "format_table",
+    "holm_bonferroni",
+    "mann_whitney_u",
     "percentile",
     "record_from_dict",
     "record_to_dict",

@@ -34,20 +34,36 @@ def render_summary_table(
     entries: Sequence[Tuple[str, SummaryStats]],
     title: str = "",
     include_stretch: bool = True,
+    annotations: Optional[Sequence[str]] = None,
+    annotation_header: str = "significance",
 ) -> str:
-    """Rows of Table-III-style statistics, one per labelled summary."""
+    """Rows of Table-III-style statistics, one per labelled summary.
+
+    ``annotations`` (one string per entry, e.g. "3/5 sig vs FC") appends a
+    trailing column — how ``faas-sched grid --compare`` marks which rows
+    differ significantly from the reference strategy after Holm
+    correction (see docs/COMPARISONS.md).
+    """
+    if annotations is not None and len(annotations) != len(entries):
+        raise ValueError(
+            f"got {len(annotations)} annotations for {len(entries)} entries"
+        )
     headers = ["config", "n", "R.avg"] + [f"R.p{q}" for q in PAPER_PERCENTILES]
     if include_stretch:
         headers += ["S.avg"] + [f"S.p{q}" for q in PAPER_PERCENTILES]
     headers += ["max c(i)", "colds"]
+    if annotations is not None:
+        headers.append(annotation_header)
     rows = []
-    for label, stats in entries:
+    for idx, (label, stats) in enumerate(entries):
         row: List[object] = [label, stats.n_calls, stats.mean_response_time]
         row += [stats.response_time_percentiles[q] for q in PAPER_PERCENTILES]
         if include_stretch:
             row.append(stats.mean_stretch)
             row += [stats.stretch_percentiles[q] for q in PAPER_PERCENTILES]
         row += [stats.max_completion_time, stats.cold_starts]
+        if annotations is not None:
+            row.append(annotations[idx])
         rows.append(row)
     return format_table(headers, rows, title=title)
 

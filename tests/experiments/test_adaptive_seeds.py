@@ -1,0 +1,170 @@
+"""Adaptive seed allocation: spend fewer runs where pairs separate early.
+
+Pins the allocator's contract: a clearly separated pair stops at the
+initial batch (fewer total runs than the fixed-budget protocol — ISSUE
+7's CI smoke asserts the same thing end-to-end), an indistinguishable
+pair exhausts its budget without ever claiming convergence, budgets are
+validated before any simulation, and grid mode shares a strategy's runs
+across the pairs that reference it.
+"""
+
+import pytest
+
+from repro.experiments.adaptive import (
+    allocate_seeds,
+    run_adaptive_grid,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.grid import GridSpec
+
+#: FC vs FIFO at (4 cores, intensity 30) separates on mean stretch at 5
+#: seeds (Cliff's δ = -1.0); FC vs baseline at intensity 20 does not
+#: separate even at 20+ seeds.  Both facts are deterministic given seeds.
+SEPARATED = ("FC", "FIFO", 30)
+INDISTINGUISHABLE = ("FC", "baseline", 20)
+
+
+def config(policy: str, intensity: int) -> ExperimentConfig:
+    return ExperimentConfig(cores=4, intensity=intensity, policy=policy)
+
+
+class TestAllocateSeeds:
+    def test_separated_pair_converges_at_initial_batch(self):
+        policy_a, policy_b, intensity = SEPARATED
+        allocation = allocate_seeds(
+            config(policy_a, intensity),
+            config(policy_b, intensity),
+            initial_seeds=5,
+            max_seeds=20,
+            batch=5,
+            resamples=300,
+        )
+        assert allocation.converged
+        assert allocation.seeds == (1, 2, 3, 4, 5)
+        assert allocation.total_runs == 10
+        assert allocation.fixed_equivalent_runs == 40
+        assert allocation.runs_saved == 30
+        assert allocation.rounds == ((5, True),)
+        assert allocation.comparison.all_separated()
+
+    def test_indistinguishable_pair_exhausts_budget(self):
+        policy_a, policy_b, intensity = INDISTINGUISHABLE
+        allocation = allocate_seeds(
+            config(policy_a, intensity),
+            config(policy_b, intensity),
+            initial_seeds=3,
+            max_seeds=9,
+            batch=3,
+            resamples=200,
+        )
+        assert not allocation.converged
+        assert allocation.total_runs == 18  # both sides at max_seeds
+        assert allocation.runs_saved == 0
+        assert [n for n, _ in allocation.rounds] == [3, 6, 9]
+        assert not any(separated for _, separated in allocation.rounds)
+
+    def test_explicit_seed_prefix_is_reused_and_extended(self):
+        policy_a, policy_b, intensity = SEPARATED
+        allocation = allocate_seeds(
+            config(policy_a, intensity),
+            config(policy_b, intensity),
+            seeds=(11, 12, 13),
+            initial_seeds=3,
+            max_seeds=5,
+            batch=2,
+            resamples=200,
+        )
+        # The explicit prefix comes first; fresh integers extend it.
+        assert allocation.seeds[:3] == (11, 12, 13)
+        assert len(set(allocation.seeds)) == len(allocation.seeds)
+
+    def test_results_carry_the_requested_configs(self):
+        policy_a, policy_b, intensity = SEPARATED
+        allocation = allocate_seeds(
+            config(policy_a, intensity),
+            config(policy_b, intensity),
+            initial_seeds=2,
+            max_seeds=2,
+            batch=1,
+            resamples=100,
+        )
+        assert [r.config.policy for r in allocation.results_a] == [policy_a] * 2
+        assert [r.config.policy for r in allocation.results_b] == [policy_b] * 2
+        assert [r.config.seed for r in allocation.results_a] == [1, 2]
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            (dict(initial_seeds=1), "initial_seeds"),
+            (dict(batch=0), "batch"),
+            (dict(initial_seeds=5, max_seeds=3), "max_seeds"),
+            (dict(seeds=(1, 2, 2), initial_seeds=2, max_seeds=3), "duplicates"),
+        ],
+    )
+    def test_bad_budgets_fail_before_any_run(self, kwargs, match):
+        policy_a, policy_b, intensity = SEPARATED
+        with pytest.raises(ValueError, match=match):
+            allocate_seeds(
+                config(policy_a, intensity), config(policy_b, intensity), **kwargs
+            )
+
+
+class TestAdaptiveGrid:
+    def test_converged_pair_uses_fewer_runs_than_fixed_protocol(self):
+        spec = GridSpec(
+            cores=(4,),
+            intensities=(30,),
+            strategies=("FC", "FIFO"),
+            seeds=(1, 2, 3, 4, 5),
+        )
+        grid = run_adaptive_grid(spec, max_seeds=20, batch=5, resamples=300)
+        assert grid.total_runs < grid.fixed_equivalent_runs
+        assert grid.converged() == [(4, 30, "FC", "FIFO")]
+        assert "saved" in grid.render()
+
+    def test_shared_reference_strategy_is_run_once(self):
+        """FC appears in both pairs; its runs must be counted once, so
+        the grid total is below two independent pair allocations."""
+        spec = GridSpec(
+            cores=(4,),
+            intensities=(30,),
+            strategies=("FC", "FIFO", "SEPT"),
+            seeds=(1, 2, 3, 4, 5),
+        )
+        grid = run_adaptive_grid(spec, max_seeds=10, batch=5, resamples=200)
+        pair_runs = sum(a.total_runs for a in grid.allocations.values())
+        assert grid.total_runs == pair_runs  # per-pair counters are disjoint
+        assert grid.fixed_equivalent_runs == 3 * 10  # three strategies, once each
+        # FC vs FIFO converges at 5 seeds; FC vs SEPT then extends the
+        # shared FC store, whose first 5 runs are not re-launched.
+        assert grid.total_runs < 2 * 2 * 10
+
+    def test_custom_pairs_and_validation(self):
+        spec = GridSpec(
+            cores=(4,),
+            intensities=(30,),
+            strategies=("FC", "FIFO", "SEPT"),
+            seeds=(1, 2, 3),
+        )
+        with pytest.raises(ValueError, match="absent from"):
+            run_adaptive_grid(spec, pairs=[("FC", "EECT")], max_seeds=4)
+        with pytest.raises(ValueError, match="comparable"):
+            run_adaptive_grid(spec, pairs=[("FC", "FC")], max_seeds=4)
+
+    def test_cluster_sweep_is_rejected(self):
+        spec = GridSpec(
+            cores=(4,),
+            intensities=(30,),
+            strategies=("FC", "FIFO"),
+            seeds=(1, 2, 3),
+            nodes=(1, 2),
+        )
+        with pytest.raises(ValueError, match="single-topology"):
+            run_adaptive_grid(spec, max_seeds=4, batch=1)
+
+    def test_single_strategy_spec_is_rejected(self):
+        spec = GridSpec(
+            cores=(4,), intensities=(30,), strategies=("FC",), seeds=(1, 2, 3)
+        )
+        with pytest.raises(ValueError, match="at least two strategies"):
+            run_adaptive_grid(spec, max_seeds=4, batch=1)

@@ -1,0 +1,209 @@
+"""Streaming-vs-retained equivalence of the comparison pipeline.
+
+``faas-sched compare`` accepts results from either pipeline mode; this
+suite pins how closely the two modes' *statistical conclusions* agree,
+the comparison-layer analogue of tests/experiments/
+test_streaming_equivalence.py:
+
+* every metric in ``COMPARE_METRICS`` is classified here as exact or
+  sketched (completeness-guarded, so a newly added comparison metric
+  fails this suite until its equivalence class is declared);
+* exact metrics (means, cold starts, makespan) produce identical
+  per-seed values in both modes, hence identical U statistics, p-values
+  and effect sizes;
+* sketched percentile metrics stay within the t-digest's documented
+  rank-error bound per seed, and the corrected significance verdicts
+  agree between modes on the pinned FC-vs-SEPT workload;
+* the CLI verb reports p-values, Cliff's delta and Holm-corrected
+  significance in both modes from the same result cache (the paper's
+  FC-vs-SEPT comparison at 20 seeds — ISSUE 7's acceptance scenario).
+"""
+
+import math
+
+import pytest
+
+from repro.cli import main
+from repro.cluster.spec import ClusterSpec
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import run_configs
+from repro.metrics.compare import (
+    COMPARE_METRICS,
+    compare_results,
+    seed_metric_values,
+)
+
+#: Metrics carried exactly by the streaming accumulator (ExactSum means,
+#: integer counters, max-tracking) vs. estimated by the t-digest sketch.
+#: Every COMPARE_METRICS entry must appear in exactly one set (enforced
+#: below) — a new comparison metric fails until classified.
+EXACT_METRICS = {"mean_response_time", "mean_stretch", "cold_starts", "makespan"}
+SKETCHED_METRICS = {
+    "p50_response_time",
+    "p95_response_time",
+    "p99_response_time",
+    "p99_stretch",
+}
+
+SEEDS = tuple(range(1, 21))
+CORES, INTENSITY = 4, 20
+
+
+def test_every_compare_metric_is_classified():
+    assert EXACT_METRICS | SKETCHED_METRICS == set(COMPARE_METRICS), (
+        "a comparison metric was added without declaring its "
+        "streaming-equivalence class (exact or sketched)"
+    )
+    assert not EXACT_METRICS & SKETCHED_METRICS
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("compare-equivalence") / "cache")
+
+
+@pytest.fixture(scope="module")
+def runs(cache_dir):
+    """20 seeds of FC and SEPT in both modes, through the cached engine —
+    built exactly like the CLI's ``compare`` verb builds them, so the CLI
+    tests below re-hit this cache instead of re-simulating."""
+
+    def configs(policy, retain):
+        return [
+            ExperimentConfig(
+                cores=CORES,
+                intensity=INTENSITY,
+                policy=policy,
+                seed=seed,
+                cluster=ClusterSpec(nodes=1, balancer="least-loaded"),
+                retain_records=retain,
+            )
+            for seed in SEEDS
+        ]
+
+    return {
+        ("FC", True): run_configs(configs("FC", True), cache_dir=cache_dir),
+        ("SEPT", True): run_configs(configs("SEPT", True), cache_dir=cache_dir),
+        ("FC", False): run_configs(configs("FC", False), cache_dir=cache_dir),
+        ("SEPT", False): run_configs(configs("SEPT", False), cache_dir=cache_dir),
+    }
+
+
+@pytest.mark.parametrize("metric", sorted(EXACT_METRICS))
+@pytest.mark.parametrize("policy", ("FC", "SEPT"))
+def test_exact_metrics_match_per_seed(runs, policy, metric):
+    retained = seed_metric_values(runs[(policy, True)], metric)
+    streaming = seed_metric_values(runs[(policy, False)], metric)
+    for r, s in zip(retained, streaming):
+        assert math.isclose(r, s, rel_tol=1e-12, abs_tol=0.0)
+
+
+@pytest.mark.parametrize("metric", sorted(SKETCHED_METRICS))
+@pytest.mark.parametrize("policy", ("FC", "SEPT"))
+def test_sketched_metrics_within_rank_bound_per_seed(runs, policy, metric):
+    """Each seed's sketched percentile must land within the digest's
+    documented rank-error bound of the exact record-derived quantile
+    (same check as the streaming-equivalence suite, lifted to the
+    comparison metrics)."""
+    q = int(metric.split("_")[0][1:]) / 100.0
+    attribute = "response_time" if "response" in metric else "stretch"
+    for retained, streaming in zip(runs[(policy, True)], runs[(policy, False)]):
+        digest = getattr(streaming.accumulator, f"{attribute.split('_')[0]}_digest")
+        estimate = digest.percentile(q * 100)
+        data = sorted(getattr(r, attribute) for r in retained.records)
+        n = len(data)
+        below = sum(1 for x in data if x < estimate)
+        at_most = sum(1 for x in data if x <= estimate)
+        slack = n * digest.rank_error_bound(q) + 1.0
+        target = q * n
+        assert below <= target + slack and at_most >= target - slack, (
+            f"{metric} seed {retained.config.seed}: sketch {estimate} at "
+            f"ranks [{below}, {at_most}], target {target:.1f} ± {slack:.2f}"
+        )
+
+
+def test_streaming_comparison_agrees_with_retained(runs):
+    retained = compare_results(
+        runs[("FC", True)], runs[("SEPT", True)], resamples=500
+    )
+    streaming = compare_results(
+        runs[("FC", False)], runs[("SEPT", False)], resamples=500
+    )
+    assert retained.mode == "retained"
+    assert streaming.mode == "streaming"
+    for r, s in zip(retained.comparisons, streaming.comparisons):
+        assert r.metric == s.metric
+        if r.metric in EXACT_METRICS:
+            # Identical per-seed values → identical rank statistics.
+            assert s.p_value == r.p_value
+            assert s.cliffs_delta == r.cliffs_delta
+            assert s.significant == r.significant
+        else:
+            # Sketched values wobble within the rank bound; conclusions
+            # must not: same corrected verdict, nearby effect size.
+            assert s.significant == r.significant
+            assert abs(s.cliffs_delta - r.cliffs_delta) <= 0.2
+
+
+def test_mixed_mode_comparison_is_labelled(runs):
+    mixed = compare_results(
+        runs[("FC", True)], runs[("SEPT", False)], resamples=50
+    )
+    assert mixed.mode == "mixed"
+
+
+class TestCompareCli:
+    """The acceptance scenario: ``faas-sched compare FC SEPT`` at 20
+    seeds over the cached engine, both modes."""
+
+    CLI_ARGS = [
+        "compare",
+        "FC",
+        "SEPT",
+        "--cores",
+        str(CORES),
+        "--intensity",
+        str(INTENSITY),
+        "--num-seeds",
+        str(len(SEEDS)),
+        "--resamples",
+        "300",
+        "--no-progress",
+    ]
+
+    @pytest.mark.parametrize("streaming", (False, True))
+    def test_reports_all_acceptance_metrics(self, runs, cache_dir, capsys, streaming):
+        argv = self.CLI_ARGS + ["--cache-dir", cache_dir]
+        if streaming:
+            argv.append("--streaming")
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        # p-values, Cliff's delta, Holm-corrected significance columns.
+        for column in ("p(holm)", "δ", "effect", "CI(Δ)", "sig"):
+            assert column in out
+        for metric in (
+            "mean_response_time",
+            "p99_response_time",
+            "mean_stretch",
+            "p99_stretch",
+            "cold_starts",
+        ):
+            assert metric in out
+        assert ("streaming mode" if streaming else "retained mode") in out
+        assert "n=20 vs 20 seeds" in out
+
+    def test_cli_hits_the_fixture_cache(self, runs, cache_dir, capsys):
+        """The CLI builds configs identical to the fixture's, so the run
+        above must not have re-simulated anything: a fresh run against
+        the same cache completes with every cell cached."""
+        from repro.experiments.parallel import ResultCache
+
+        cache = ResultCache(cache_dir)
+        config = ExperimentConfig(
+            cores=CORES,
+            intensity=INTENSITY,
+            policy="FC",
+            seed=SEEDS[0],
+            cluster=ClusterSpec(nodes=1, balancer="least-loaded"),
+        )
+        assert cache.load(config) is not None

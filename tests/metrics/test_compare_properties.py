@@ -1,0 +1,128 @@
+"""Property tests (hypothesis) for repro.metrics.compare.
+
+Each property is an algebraic identity the statistics must satisfy for
+*every* input, not just the hand-picked cases of the self-test suite:
+
+* antisymmetry — swapping A and B flips the sign of the effect size and
+  mean difference but leaves the p-value unchanged;
+* permutation invariance — sample order within a group is irrelevant
+  (rank statistics see sets, not sequences);
+* bootstrap determinism — the same seed reproduces the same CI, and a
+  percentile CI contains the point estimate;
+* Holm monotonicity — correction never rejects more than the
+  uncorrected tests, and adjusted p-values never shrink.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.compare import (
+    bootstrap_diff_ci,
+    cliffs_delta,
+    compare_samples,
+    holm_bonferroni,
+    mann_whitney_u,
+)
+
+#: Finite floats in a range the simulator's metrics actually occupy; a
+#: few repeated values (via integer rounding in a sub-strategy) keep the
+#: tie paths exercised.
+values = st.one_of(
+    st.floats(min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False),
+    st.integers(min_value=-5, max_value=5).map(float),
+)
+samples = st.lists(values, min_size=2, max_size=20)
+
+
+class TestAntisymmetry:
+    @given(a=samples, b=samples)
+    @settings(max_examples=60, deadline=None)
+    def test_swapping_sides_flips_effect_and_keeps_p(self, a, b):
+        forward = mann_whitney_u(a, b)
+        backward = mann_whitney_u(b, a)
+        assert forward.p_value == backward.p_value
+        assert forward.method == backward.method
+        # U_a + U_b = n*m.
+        assert forward.u_statistic + backward.u_statistic == len(a) * len(b)
+        assert cliffs_delta(a, b) == -cliffs_delta(b, a)
+
+    @given(a=samples, b=samples)
+    @settings(max_examples=30, deadline=None)
+    def test_comparison_result_is_antisymmetric(self, a, b):
+        forward = compare_samples({"m": a}, {"m": b}, resamples=50)
+        backward = compare_samples({"m": b}, {"m": a}, resamples=50)
+        fwd, bwd = forward.comparisons[0], backward.comparisons[0]
+        assert fwd.p_value == bwd.p_value
+        assert fwd.cliffs_delta == -bwd.cliffs_delta
+        assert fwd.diff == -bwd.diff
+
+
+class TestPermutationInvariance:
+    @given(a=samples, b=samples, seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=60, deadline=None)
+    def test_shuffling_samples_changes_nothing(self, a, b, seed):
+        rng = random.Random(seed)
+        a_shuffled, b_shuffled = list(a), list(b)
+        rng.shuffle(a_shuffled)
+        rng.shuffle(b_shuffled)
+        original = mann_whitney_u(a, b)
+        shuffled = mann_whitney_u(a_shuffled, b_shuffled)
+        assert shuffled.u_statistic == original.u_statistic
+        assert shuffled.p_value == original.p_value
+        assert cliffs_delta(a_shuffled, b_shuffled) == cliffs_delta(a, b)
+
+
+class TestBootstrapDeterminism:
+    @given(a=samples, b=samples, seed=st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=40, deadline=None)
+    def test_same_seed_same_ci(self, a, b, seed):
+        first = bootstrap_diff_ci(a, b, seed=seed, resamples=100)
+        second = bootstrap_diff_ci(a, b, seed=seed, resamples=100)
+        assert first == second
+
+    @given(a=samples, b=samples, seed=st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=40, deadline=None)
+    def test_percentile_ci_contains_point_estimate(self, a, b, seed):
+        ci = bootstrap_diff_ci(a, b, seed=seed, resamples=200, method="percentile")
+        assert ci.low <= ci.point <= ci.high
+        # The point estimate is the plain difference of means.
+        expected = sum(a) / len(a) - sum(b) / len(b)
+        assert abs(ci.point - expected) < 1e-9
+
+    @given(a=samples, b=samples, seed=st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=40, deadline=None)
+    def test_bca_interval_is_ordered_and_finite(self, a, b, seed):
+        ci = bootstrap_diff_ci(a, b, seed=seed, resamples=200, method="bca")
+        assert ci.low <= ci.high
+        assert ci.low == ci.low and ci.high == ci.high  # not NaN
+
+
+class TestHolmMonotonicity:
+    p_families = st.lists(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        min_size=1,
+        max_size=12,
+    )
+
+    @given(p_values=p_families, alpha=st.floats(min_value=0.001, max_value=0.2))
+    @settings(max_examples=80, deadline=None)
+    def test_never_more_rejections_than_uncorrected(self, p_values, alpha):
+        corrected = holm_bonferroni(p_values, alpha)
+        uncorrected = sum(1 for p in p_values if p <= alpha)
+        assert sum(1 for _, reject in corrected if reject) <= uncorrected
+
+    @given(p_values=p_families)
+    @settings(max_examples=80, deadline=None)
+    def test_adjusted_p_never_below_raw(self, p_values):
+        corrected = holm_bonferroni(p_values)
+        for (adjusted, _), raw in zip(corrected, p_values):
+            assert adjusted >= raw
+            assert adjusted <= 1.0
+
+    @given(p_values=p_families, alpha=st.floats(min_value=0.001, max_value=0.2))
+    @settings(max_examples=80, deadline=None)
+    def test_rejection_implies_adjusted_below_alpha(self, p_values, alpha):
+        for adjusted, reject in holm_bonferroni(p_values, alpha):
+            assert reject == (adjusted <= alpha)

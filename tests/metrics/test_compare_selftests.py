@@ -1,0 +1,194 @@
+"""Self-calibrating tests of the statistics in repro.metrics.compare.
+
+Statistical machinery is uniquely easy to get subtly wrong — an
+off-by-one in the exact Mann-Whitney enumeration or a bad tie correction
+yields p-values that *look* plausible on any single comparison.  These
+tests pin the implementation against ground truth we control:
+
+* **Null calibration** — on two samples drawn from the *same* seeded
+  distribution, a correct test rejects at rate ≈ α.  Run 1000 resampled
+  trials and check the rejection rate sits within binomial noise of α,
+  both uncorrected (per test) and Holm-corrected (family-wise).
+* **Power** — a seeded 20% location shift at n=30 seeds must be detected
+  (the effect the paper's policy gaps correspond to).
+* **Exact small-n values** — pinned against hand-computed null
+  distributions (the 3v3 and 4v4 tables one can enumerate on paper).
+* **Tie/degenerate edges** — all-equal samples, n=1, empty input.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.metrics.compare import (
+    BootstrapCI,
+    bootstrap_diff_ci,
+    cliffs_delta,
+    effect_magnitude,
+    holm_bonferroni,
+    mann_whitney_u,
+)
+
+ALPHA = 0.05
+#: 1000 Bernoulli(α) trials: sd = sqrt(α(1-α)/1000) ≈ 0.0069.  ±4 sd keeps
+#: the flake probability ~1e-4 while still catching a mis-calibrated test
+#: (a factor-2 error in p lands ~0.10 or ~0.01, both far outside).
+TRIALS = 1000
+TOLERANCE = 4 * math.sqrt(ALPHA * (1 - ALPHA) / TRIALS)
+
+
+class TestNullCalibration:
+    def test_rejection_rate_matches_alpha_on_identical_distributions(self):
+        rng = random.Random(20260808)
+        rejections = 0
+        for _ in range(TRIALS):
+            a = [rng.gauss(0.0, 1.0) for _ in range(12)]
+            b = [rng.gauss(0.0, 1.0) for _ in range(12)]
+            if mann_whitney_u(a, b).p_value <= ALPHA:
+                rejections += 1
+        rate = rejections / TRIALS
+        assert abs(rate - ALPHA) <= TOLERANCE, (
+            f"null rejection rate {rate} outside {ALPHA} ± {TOLERANCE:.4f}"
+        )
+
+    def test_family_wise_rate_stays_at_alpha_under_holm(self):
+        """Testing 4 metrics per trial, Holm must keep the *family-wise*
+        false-positive rate at ≈ α (not 4α)."""
+        rng = random.Random(1234)
+        family_rejections = 0
+        for _ in range(TRIALS):
+            p_values = []
+            for _metric in range(4):
+                a = [rng.gauss(0.0, 1.0) for _ in range(10)]
+                b = [rng.gauss(0.0, 1.0) for _ in range(10)]
+                p_values.append(mann_whitney_u(a, b).p_value)
+            if any(reject for _, reject in holm_bonferroni(p_values, ALPHA)):
+                family_rejections += 1
+        rate = family_rejections / TRIALS
+        assert rate <= ALPHA + TOLERANCE, (
+            f"family-wise rate {rate} exceeds {ALPHA} + {TOLERANCE:.4f}"
+        )
+
+    def test_normal_approximation_is_calibrated_with_ties(self):
+        """Discrete (integer) samples exercise the tie-corrected variance;
+        a wrong correction inflates or deflates the rejection rate."""
+        rng = random.Random(99)
+        rejections = 0
+        for _ in range(TRIALS):
+            a = [float(rng.randint(0, 5)) for _ in range(30)]
+            b = [float(rng.randint(0, 5)) for _ in range(30)]
+            if mann_whitney_u(a, b).p_value <= ALPHA:
+                rejections += 1
+        rate = rejections / TRIALS
+        # Discreteness makes the test conservative (rate ≤ α); it must
+        # never be anti-conservative beyond noise.
+        assert rate <= ALPHA + TOLERANCE
+
+
+class TestPower:
+    def test_twenty_percent_shift_detected_at_n30(self):
+        """A 20% location shift at σ=20% of the mean and n=30 — the scale
+        of the paper's FC-vs-FIFO stretch gap — must be detected reliably
+        (theoretical power ≈ 0.96)."""
+        rng = random.Random(7)
+        detections = 0
+        trials = 200
+        for _ in range(trials):
+            a = [rng.gauss(1.0, 0.2) for _ in range(30)]
+            b = [rng.gauss(1.2, 0.2) for _ in range(30)]
+            if mann_whitney_u(a, b).p_value <= ALPHA:
+                detections += 1
+        assert detections / trials >= 0.85
+
+    def test_fully_separated_samples_hit_the_exact_floor(self):
+        """Completely separated 5v5 samples give the smallest two-sided
+        exact p: 2 / C(10,5) = 2/252."""
+        result = mann_whitney_u([1.0, 2.0, 3.0, 4.0, 5.0], [6.0, 7.0, 8.0, 9.0, 10.0])
+        assert result.method == "exact"
+        assert result.p_value == pytest.approx(2 / 252)
+
+
+class TestExactSmallN:
+    """Hand-computed exact null distributions (count orderings on paper)."""
+
+    def test_3v3_full_separation(self):
+        # C(6,3) = 20 arrangements; U=0 and U=9 are one arrangement each:
+        # two-sided p = 2/20.
+        result = mann_whitney_u([1.0, 2.0, 3.0], [4.0, 5.0, 6.0])
+        assert result.method == "exact"
+        assert result.u_statistic == 0.0
+        assert result.p_value == pytest.approx(2 / 20)
+
+    def test_4v4_full_separation(self):
+        # C(8,4) = 70: two-sided p = 2/70.
+        result = mann_whitney_u([1.0, 2.0, 3.0, 4.0], [5.0, 6.0, 7.0, 8.0])
+        assert result.p_value == pytest.approx(2 / 70)
+
+    def test_3v3_one_interleave(self):
+        # a = {1,2,4}, b = {3,5,6}: U_a counts (a_i < b_j) pairs = 8 of 9.
+        # #{U<=1} = 2 (U=0: one, U=1: one); two-sided p = 2*2/20 = 0.2.
+        result = mann_whitney_u([1.0, 2.0, 4.0], [3.0, 5.0, 6.0])
+        assert result.u_statistic == pytest.approx(1.0)
+        assert result.p_value == pytest.approx(0.2)
+
+    def test_2v2_never_significant(self):
+        # C(4,2) = 6: the exact floor is 2/6 = 1/3 — n=2 can never reach
+        # α=0.05, which is why the adaptive allocator demands more seeds.
+        result = mann_whitney_u([1.0, 2.0], [3.0, 4.0])
+        assert result.p_value == pytest.approx(1 / 3)
+
+    def test_exact_and_normal_agree_at_moderate_n(self):
+        # seed 6 lands the p-value near α, where the approximation's
+        # calibration matters most (deep tails diverge relatively by
+        # construction and are covered by the power test instead).
+        rng = random.Random(6)
+        a = [rng.gauss(0, 1) for _ in range(15)]
+        b = [rng.gauss(0.6, 1) for _ in range(15)]
+        exact = mann_whitney_u(a, b)
+        approx = mann_whitney_u(a, b, exact_limit=0)
+        assert exact.method == "exact" and approx.method == "normal"
+        assert approx.p_value == pytest.approx(exact.p_value, rel=0.1)
+
+
+class TestEdges:
+    def test_all_equal_samples_give_p_one(self):
+        result = mann_whitney_u([2.0, 2.0, 2.0], [2.0, 2.0, 2.0])
+        assert result.p_value == 1.0
+        assert cliffs_delta([2.0, 2.0], [2.0, 2.0]) == 0.0
+
+    def test_n1_works_but_cannot_be_significant(self):
+        result = mann_whitney_u([1.0], [2.0])
+        assert 0.0 < result.p_value <= 1.0
+        assert result.p_value >= 2 / 2  # C(2,1)=2: floor is 2*1/2 = 1.0
+
+    def test_empty_sample_raises_actionable_error(self):
+        with pytest.raises(ValueError, match="empty"):
+            mann_whitney_u([], [1.0, 2.0])
+        with pytest.raises(ValueError, match="empty"):
+            mann_whitney_u([1.0, 2.0], [])
+
+    def test_nan_raises_actionable_error(self):
+        with pytest.raises(ValueError, match="NaN"):
+            mann_whitney_u([1.0, float("nan")], [2.0, 3.0])
+
+    def test_cliffs_delta_extremes_and_magnitudes(self):
+        assert cliffs_delta([1.0, 2.0], [3.0, 4.0]) == -1.0
+        assert cliffs_delta([3.0, 4.0], [1.0, 2.0]) == 1.0
+        assert effect_magnitude(0.1) == "negligible"
+        assert effect_magnitude(0.2) == "small"
+        assert effect_magnitude(0.4) == "medium"
+        assert effect_magnitude(0.6) == "large"
+
+    def test_bootstrap_ci_on_constant_samples_is_degenerate(self):
+        ci = bootstrap_diff_ci([3.0, 3.0, 3.0], [3.0, 3.0, 3.0], seed=1)
+        assert isinstance(ci, BootstrapCI)
+        assert ci.low == ci.high == ci.point == 0.0
+        assert not ci.excludes_zero()
+
+    def test_holm_on_empty_family(self):
+        assert holm_bonferroni([]) == []
+
+    def test_holm_rejects_invalid_p(self):
+        with pytest.raises(ValueError, match="p-value"):
+            holm_bonferroni([0.5, 1.5])

@@ -4,19 +4,34 @@ Usage::
 
     python tools/bench_compare.py BENCH_old.json BENCH_new.json
     python tools/bench_compare.py --threshold 0.10 old.json new.json
+    python tools/bench_compare.py --gate --alpha 0.01 old.json new.json
 
 Reads the ``--benchmark-json`` output of two benchmark runs (e.g. the
 committed ``benchmarks/BENCH_kernel_before.json`` /
 ``BENCH_kernel_after.json`` pair, or a CI run against the committed
-baseline), matches benchmarks by name, and reports the speed ratio per
-benchmark.  Exits non-zero when any shared benchmark slowed down by more
-than ``--threshold`` (default 20%), so a CI job can surface kernel
-performance regressions — run it ``continue-on-error`` if the signal
-should stay advisory.
+baseline), matches benchmarks by name, and reports the comparison.  Exits
+non-zero on a regression, so a CI job can surface kernel performance
+regressions — run it ``continue-on-error`` if the signal should stay
+advisory.
 
-Comparison uses each benchmark's *minimum* observed time: the minimum is
-the least noise-sensitive location statistic for a deterministic
-workload (everything above it is scheduler/cache interference).
+Two modes:
+
+* **Legacy differ** (default): compares each benchmark's *minimum*
+  observed time — the least noise-sensitive location statistic for a
+  deterministic workload (everything above it is scheduler/cache
+  interference) — and flags ratios beyond ``--threshold`` (default 20%).
+  A benchmark with a zero/missing baseline timing renders as ``n/a``
+  instead of an infinite percentage and never counts as a regression.
+
+* **Significance gate** (``--gate``): feeds the per-round raw samples
+  (``stats.data``) of both runs through
+  :func:`repro.metrics.compare.compare_samples` — Mann-Whitney U per
+  benchmark with Holm correction across all shared benchmarks, Cliff's
+  delta effect sizes, and bootstrap CIs on the mean difference.  A
+  benchmark regresses only when the corrected test is significant at
+  ``--alpha`` *and* the candidate is slower; a >20% min-time blip backed
+  by overlapping distributions no longer trips CI.  See
+  docs/COMPARISONS.md.
 """
 
 from __future__ import annotations
@@ -25,7 +40,12 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Dict
+from typing import Dict, List, Optional, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.metrics.compare import ComparisonResult, compare_samples  # noqa: E402
 
 
 def load_benchmarks(path: Path) -> Dict[str, dict]:
@@ -37,7 +57,9 @@ def load_benchmarks(path: Path) -> Dict[str, dict]:
     return {bench["name"]: bench["stats"] for bench in benchmarks}
 
 
-def format_seconds(value: float) -> str:
+def format_seconds(value: Optional[float]) -> str:
+    if value is None:
+        return "n/a"
     if value >= 1.0:
         return f"{value:.3f}s"
     if value >= 1e-3:
@@ -45,37 +67,113 @@ def format_seconds(value: float) -> str:
     return f"{value * 1e6:.1f}us"
 
 
+def _min_of(stats: dict) -> Optional[float]:
+    """A benchmark's minimum time, or ``None`` when absent/unusable — a
+    hand-edited or truncated JSON must degrade to "n/a", not crash or
+    produce an infinite percentage."""
+    value = stats.get("min")
+    if not isinstance(value, (int, float)) or value <= 0:
+        return None
+    return float(value)
+
+
 def compare(old: Dict[str, dict], new: Dict[str, dict], threshold: float):
     """Yield ``(name, old_min, new_min, ratio, regressed)`` rows for the
-    shared benchmarks, slowest regression first."""
-    rows = []
+    shared benchmarks, slowest regression first.  ``ratio`` is ``None``
+    (and ``regressed`` False) when either side has no usable timing."""
+    rows: List[Tuple[str, Optional[float], Optional[float], Optional[float], bool]] = []
     for name in sorted(set(old) & set(new)):
-        old_min = float(old[name]["min"])
-        new_min = float(new[name]["min"])
-        ratio = new_min / old_min if old_min > 0 else float("inf")
+        old_min = _min_of(old[name])
+        new_min = _min_of(new[name])
+        if old_min is None or new_min is None:
+            rows.append((name, old_min, new_min, None, False))
+            continue
+        ratio = new_min / old_min
         rows.append((name, old_min, new_min, ratio, ratio > 1.0 + threshold))
-    rows.sort(key=lambda row: -row[3])
+    rows.sort(key=lambda row: -(row[3] if row[3] is not None else 0.0))
     return rows
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        description="Diff two pytest-benchmark JSON files and flag regressions."
+def gate_comparison(
+    old: Dict[str, dict],
+    new: Dict[str, dict],
+    *,
+    alpha: float = 0.05,
+    resamples: int = 2000,
+) -> Tuple[Optional[ComparisonResult], List[str]]:
+    """The significance-gate comparison over shared benchmarks carrying
+    raw per-round samples, plus the names skipped for lacking them."""
+    samples_old: Dict[str, List[float]] = {}
+    samples_new: Dict[str, List[float]] = {}
+    skipped: List[str] = []
+    for name in sorted(set(old) & set(new)):
+        data_old = old[name].get("data")
+        data_new = new[name].get("data")
+        if not data_old or not data_new:
+            skipped.append(name)
+            continue
+        samples_old[name] = [float(v) for v in data_old]
+        samples_new[name] = [float(v) for v in data_new]
+    if not samples_old:
+        return None, skipped
+    return (
+        compare_samples(
+            samples_old,
+            samples_new,
+            label_a="baseline",
+            label_b="candidate",
+            alpha=alpha,
+            resamples=resamples,
+        ),
+        skipped,
     )
-    parser.add_argument("old", type=Path, help="baseline benchmark JSON")
-    parser.add_argument("new", type=Path, help="candidate benchmark JSON")
-    parser.add_argument(
-        "--threshold",
-        type=float,
-        default=0.20,
-        help="max tolerated slowdown fraction before failing (default 0.20)",
-    )
-    args = parser.parse_args(argv)
 
-    old = load_benchmarks(args.old)
-    new = load_benchmarks(args.new)
+
+def gate_regressions(comparison: ComparisonResult) -> List[str]:
+    """Benchmarks where the candidate is *significantly slower* (Holm-
+    corrected): ``diff = mean(baseline) - mean(candidate) < 0`` means the
+    baseline was faster."""
+    return [c.metric for c in comparison.significant() if c.diff < 0]
+
+
+def run_gate(old: Dict[str, dict], new: Dict[str, dict], args) -> int:
+    comparison, skipped = gate_comparison(
+        old, new, alpha=args.alpha, resamples=args.resamples
+    )
+    if comparison is None:
+        print(
+            "no shared benchmark carries raw per-round samples "
+            "(stats.data); rerun pytest-benchmark with --benchmark-json "
+            "or drop --gate for the min-time differ"
+        )
+        return 2
+    print(
+        comparison.render(
+            title=(
+                f"Benchmark significance gate (baseline vs. candidate, "
+                f"Mann-Whitney U over per-round samples, Holm-corrected "
+                f"at α={args.alpha:g})"
+            )
+        )
+    )
+    for name in skipped:
+        print(f"{name}: skipped (no raw samples in one of the files)")
+    regressions = gate_regressions(comparison)
+    improvements = [c.metric for c in comparison.significant() if c.diff > 0]
+    if regressions:
+        print(
+            f"\n{len(regressions)} significant regression(s) at "
+            f"α={args.alpha:g}: {', '.join(regressions)}"
+        )
+        return 1
+    if improvements:
+        print(f"\nsignificant improvement(s): {', '.join(improvements)}")
+    print("no significant regressions")
+    return 0
+
+
+def run_differ(old: Dict[str, dict], new: Dict[str, dict], args) -> int:
     rows = compare(old, new, args.threshold)
-
     only_old = sorted(set(old) - set(new))
     only_new = sorted(set(new) - set(old))
     if not rows:
@@ -85,7 +183,9 @@ def main(argv=None) -> int:
     width = max(len(name) for name, *_ in rows)
     regressions = 0
     for name, old_min, new_min, ratio, regressed in rows:
-        if regressed:
+        if ratio is None:
+            verdict = "n/a (no usable timing)"
+        elif regressed:
             verdict = f"REGRESSION (+{(ratio - 1.0) * 100.0:.1f}%)"
             regressions += 1
         elif ratio < 1.0:
@@ -109,6 +209,48 @@ def main(argv=None) -> int:
         return 1
     print("\nno regressions beyond tolerance")
     return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff two pytest-benchmark JSON files and flag regressions."
+    )
+    parser.add_argument("old", type=Path, help="baseline benchmark JSON")
+    parser.add_argument("new", type=Path, help="candidate benchmark JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="max tolerated slowdown fraction before failing (default 0.20)",
+    )
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help=(
+            "significance-tested mode: Mann-Whitney U over each "
+            "benchmark's raw per-round samples, Holm-corrected; only a "
+            "statistically significant slowdown fails"
+        ),
+    )
+    parser.add_argument(
+        "--alpha",
+        type=float,
+        default=0.05,
+        help="family-wise significance level for --gate (default 0.05)",
+    )
+    parser.add_argument(
+        "--resamples",
+        type=int,
+        default=2000,
+        help="bootstrap resamples per CI in --gate mode (default 2000)",
+    )
+    args = parser.parse_args(argv)
+
+    old = load_benchmarks(args.old)
+    new = load_benchmarks(args.new)
+    if args.gate:
+        return run_gate(old, new, args)
+    return run_differ(old, new, args)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Fail when docs/COMPARISONS.md is out of sync with COMPARE_METRICS.
+
+Checks, in both directions:
+
+* every comparable metric in ``repro.metrics.compare.COMPARE_METRICS``
+  has a ``## `name` ...`` catalog heading in docs/COMPARISONS.md;
+* every documented metric heading names a registered comparison metric
+  (no stale catalog entries).
+
+Run from the repository root (CI's docs job does)::
+
+    python tools/check_comparisons_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS = REPO_ROOT / "docs" / "COMPARISONS.md"
+
+#: Catalog entries look like: ## `name` — description
+HEADING = re.compile(r"^##\s+`(?P<name>[^`]+)`", re.MULTILINE)
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.metrics.compare import COMPARE_METRICS
+
+    registered = set(COMPARE_METRICS)
+    if not DOCS.exists():
+        print(f"error: {DOCS} does not exist", file=sys.stderr)
+        return 1
+    documented = set(HEADING.findall(DOCS.read_text(encoding="utf-8")))
+
+    undocumented = sorted(registered - documented)
+    stale = sorted(documented - registered)
+    if undocumented:
+        print(
+            "error: comparison metric(s) missing from docs/COMPARISONS.md: "
+            + ", ".join(undocumented),
+            file=sys.stderr,
+        )
+    if stale:
+        print(
+            "error: docs/COMPARISONS.md documents unknown metric(s): "
+            + ", ".join(stale),
+            file=sys.stderr,
+        )
+    if undocumented or stale:
+        return 1
+    print(f"docs/COMPARISONS.md covers all {len(registered)} comparison metrics")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
