@@ -68,13 +68,16 @@ from repro.experiments.parallel import (
     WorkerError,
     progress_printer,
     run_configs,
+    verify_cache,
 )
 from repro.experiments.registry import EXPERIMENTS, run_registered
 from repro.experiments.runner import run_experiment
 from repro.experiments.artifacts import table3_from_grid
+from repro.failures.spec import FailureSpec
 from repro.metrics.cluster import cluster_breakdown
 from repro.metrics.compare import (
     COMPARE_METRICS,
+    DEFAULT_METRICS,
     compare_grid,
     compare_results,
 )
@@ -110,6 +113,17 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         "--no-progress",
         action="store_true",
         help="suppress per-cell progress lines on stderr",
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help=(
+            "wall-clock budget per grid cell in seconds (--jobs > 1 only); "
+            "cells over budget are cancelled and reported while the rest "
+            "of the sweep completes; default: $REPRO_CELL_TIMEOUT or none"
+        ),
     )
 
 
@@ -177,6 +191,26 @@ def _parse_balancer_params(pairs: Sequence[str]) -> Tuple[Tuple[str, Any], ...]:
 
 def _parse_policy_params(pairs: Sequence[str]) -> Tuple[Tuple[str, Any], ...]:
     return _parse_kv_params(pairs, "--policy-param")
+
+
+def _parse_failure_params(pairs: Sequence[str]) -> Tuple[Tuple[str, Any], ...]:
+    return _parse_kv_params(pairs, "--failure-param")
+
+
+def _add_failure_argument(parser: argparse.ArgumentParser) -> None:
+    """``--failure-param`` shared by run/grid/compare/simulate."""
+    parser.add_argument(
+        "--failure-param",
+        action="append",
+        default=[],
+        metavar="K=V",
+        help=(
+            "failure-injection parameter as key=value (repeatable), naming "
+            "a FailureSpec field — e.g. --failure-param "
+            "node_crash_rate=0.005 --failure-param timeout_s=30 "
+            "(see docs/FAILURES.md); default: failure-free"
+        ),
+    )
 
 
 def _add_policy_param_argument(parser: argparse.ArgumentParser) -> None:
@@ -349,6 +383,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_arguments(run)
     _add_cluster_arguments(run, sweep=True)
     _add_policy_param_argument(run)
+    _add_failure_argument(run)
 
     grid = sub.add_parser(
         "grid",
@@ -385,6 +420,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_arguments(grid, default="uniform")
     _add_cluster_arguments(grid, sweep=True)
     _add_policy_param_argument(grid)
+    _add_failure_argument(grid)
     _add_streaming_argument(grid)
 
     comp = sub.add_parser(
@@ -441,7 +477,36 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_arguments(comp, default="uniform")
     _add_cluster_arguments(comp, sweep=False)
     _add_policy_param_argument(comp)
+    _add_failure_argument(comp)
     _add_streaming_argument(comp)
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect and maintain an on-disk result cache",
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_verify = cache_sub.add_parser(
+        "verify",
+        help=(
+            "scan a cache directory, report corrupt/stale entries and move "
+            "them to a quarantine subdirectory"
+        ),
+    )
+    cache_verify.add_argument(
+        "--cache-dir",
+        required=True,
+        metavar="DIR",
+        help="cache root to verify (the --cache-dir used by run/grid)",
+    )
+    cache_verify.add_argument(
+        "--no-quarantine",
+        action="store_true",
+        help="report only; leave corrupt/stale entries in place",
+    )
+    cache_verify.epilog = (
+        "exits 0 when every entry is loadable and current, 1 when any "
+        "corrupt or stale entry was found"
+    )
 
     sim = sub.add_parser("simulate", help="run one ad-hoc single-node experiment")
     sim.add_argument("--cores", type=int, default=10)
@@ -452,6 +517,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_arguments(sim, default="uniform")
     _add_cluster_arguments(sim, sweep=False)
     _add_policy_param_argument(sim)
+    _add_failure_argument(sim)
     _add_streaming_argument(sim)
     return parser
 
@@ -480,6 +546,10 @@ def _grid_spec_from_args(args: argparse.Namespace) -> GridSpec:
         overrides["autoscale"] = True
     if args.policy_param:
         overrides["policy_params"] = _parse_policy_params(args.policy_param)
+    if args.failure_param:
+        overrides["failures"] = FailureSpec.from_params(
+            _parse_failure_params(args.failure_param)
+        )
     if not args.retain_records:
         overrides["retain_records"] = False
     return replace(spec, **overrides) if overrides else spec
@@ -611,6 +681,18 @@ def _run_compare(args: argparse.Namespace) -> int:
             balancer_params=_parse_balancer_params(args.balancer_param),
             autoscaler=() if args.autoscale else None,
         )
+        # Both policies run under one failure regime — the comparison is
+        # between schedulers, the injected faults are part of the
+        # environment (and of every cell's cache fingerprint).
+        failures = FailureSpec.from_params(
+            _parse_failure_params(args.failure_param)
+        )
+        metrics = args.metrics
+        if metrics is None and not failures.is_none:
+            # Under injected failures the retry/abandonment behaviour is
+            # part of the verdict; fold those counters into the default
+            # metric family (Holm correction spans them too).
+            metrics = tuple(DEFAULT_METRICS) + ("retries", "gave_up", "failed_calls")
 
         def config_for(policy: str) -> ExperimentConfig:
             return ExperimentConfig(
@@ -621,6 +703,7 @@ def _run_compare(args: argparse.Namespace) -> int:
                 scenario_params=_parse_scenario_params(args.scenario_param),
                 policy_params=policy_params[policy],
                 cluster=cluster,
+                failures=failures,
                 retain_records=args.retain_records,
             )
 
@@ -632,7 +715,7 @@ def _run_compare(args: argparse.Namespace) -> int:
                 config_for(args.policy_a),
                 config_for(args.policy_b),
                 decision_metrics=(
-                    tuple(args.metrics) if args.metrics else DEFAULT_DECISION_METRICS
+                    tuple(metrics) if metrics else DEFAULT_DECISION_METRICS
                 ),
                 seeds=seeds,
                 initial_seeds=len(seeds),
@@ -658,6 +741,7 @@ def _run_compare(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             cache_dir=args.cache_dir,
             progress=None if args.no_progress else progress_printer(),
+            cell_timeout=args.cell_timeout,
         )
     except (ValueError, OSError, WorkerError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -665,7 +749,7 @@ def _run_compare(args: argparse.Namespace) -> int:
     comparison = compare_results(
         results[: len(seeds)],
         results[len(seeds) :],
-        metrics=args.metrics,
+        metrics=metrics,
         alpha=args.alpha,
         confidence=args.confidence,
         resamples=args.resamples,
@@ -691,6 +775,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "policies":
         print(_render_policies())
         return 0
+
+    if args.command == "cache":
+        try:
+            verification = verify_cache(
+                args.cache_dir, quarantine=not args.no_quarantine
+            )
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"scanned: {verification.scanned}  ok: {verification.ok}  "
+            f"corrupt: {verification.corrupt}  stale: {verification.stale}  "
+            f"quarantined: {len(verification.quarantined)}"
+        )
+        for name in verification.quarantined:
+            print(f"  {name}")
+        if verification.bad and args.no_quarantine:
+            print(
+                "(bad entries left in place; rerun without --no-quarantine "
+                "to move them aside)"
+            )
+        return 1 if verification.bad else 0
 
     if getattr(args, "scenario", None) is not None:
         # Validate scenario parameters up front for a clean CLI error
@@ -741,6 +847,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 autoscale=args.autoscale,
                 policies=args.policies,
                 policy_params=_parse_policy_params(args.policy_param),
+                failure_params=_parse_failure_params(args.failure_param),
+                cell_timeout=args.cell_timeout,
             )
         except (ValueError, OSError, WorkerError) as exc:
             # With --jobs > 1 the same failures surface as WorkerError;
@@ -755,7 +863,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_compare(args)
 
     if args.command == "grid":
-        spec = _grid_spec_from_args(args)
+        try:
+            # FailureSpec.from_params rejects unknown fields and invalid
+            # values (rates outside [0, 1], non-positive backoff, ...).
+            spec = _grid_spec_from_args(args)
+        except (ValueError, TypeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         if args.compare is not None and args.per_seed:
             print(
                 "error: --compare annotates pooled cell rows; drop --per-seed",
@@ -768,6 +882,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 jobs=args.jobs,
                 cache_dir=args.cache_dir,
                 progress=None if args.no_progress else progress_printer(),
+                cell_timeout=args.cell_timeout,
             )
         except (ValueError, OSError, WorkerError) as exc:
             # e.g. an empty stochastic scenario, an unreadable replay
@@ -832,6 +947,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 scenario=args.scenario,
                 scenario_params=_parse_scenario_params(args.scenario_param),
                 policy_params=_parse_policy_params(args.policy_param),
+                failures=FailureSpec.from_params(
+                    _parse_failure_params(args.failure_param)
+                ),
                 cluster=ClusterSpec(
                     nodes=args.nodes if args.nodes is not None else 1,
                     balancer=args.balancer if args.balancer is not None else "least-loaded",
@@ -850,6 +968,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(
                 "(streaming mode: percentiles are t-digest estimates; "
                 "counts, means, makespan and cold starts are exact)"
+            )
+        if not cfg.failures.is_none:
+            print(
+                f"\nfailures injected: retries: {summary.retries}  "
+                f"gave up: {summary.gave_up}  failed calls: {summary.failed_calls}"
             )
         if result.balancer_stats is not None and result.retained:
             # Cluster run: the per-node breakdown says how the fleet was

@@ -29,13 +29,15 @@ from typing import TYPE_CHECKING, List, Optional, Sequence, Union
 from repro.cluster.controller import LoadBalancer, LeastLoadedBalancer
 from repro.cluster.network import NetworkModel
 from repro.metrics.records import CallRecord
-from repro.sim.events import Event
+from repro.sim.events import AnyOf, Event
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.failures.rng import FailureRng
+    from repro.failures.spec import FailureSpec
     from repro.sim.core import Environment
     from repro.metrics.streaming import MetricsAccumulator
     from repro.node.baseline import BaselineInvoker
-    from repro.node.invoker import Invoker
+    from repro.node.invoker import Invoker, NodeCallInfo
     from repro.workload.generator import BurstScenario, Request, RequestStream
 
 __all__ = ["FaaSPlatform"]
@@ -57,6 +59,8 @@ class FaaSPlatform:
         invokers: Sequence[AnyInvoker],
         balancer: Optional[LoadBalancer] = None,
         network: Optional[NetworkModel] = None,
+        failures: Optional["FailureSpec"] = None,
+        failure_rng: Optional["FailureRng"] = None,
     ) -> None:
         if not invokers:
             raise ValueError("need at least one invoker")
@@ -66,6 +70,15 @@ class FaaSPlatform:
         self.invokers = invokers if isinstance(invokers, list) else list(invokers)
         self.balancer = balancer if balancer is not None else LeastLoadedBalancer(self.invokers)
         self.network = network if network is not None else NetworkModel()
+        if failures is not None and not failures.is_none and failure_rng is None:
+            raise ValueError("failure injection requires a FailureRng")
+        self.failures = None if failures is not None and failures.is_none else failures
+        self._failure_rng = failure_rng
+        #: The client coroutine: the exact historical generator on the
+        #: failure-free path, the retrying client under injection.
+        self._client = (
+            self._client_call if self.failures is None else self._client_call_failures
+        )
         self.records: List[CallRecord] = []
         #: Client-visible calls completed so far (exact, even when records
         #: are not retained).
@@ -107,7 +120,7 @@ class FaaSPlatform:
             self._injecting = False
             self._all_done = Event(self.env)
             for request in scenario:
-                self.env.process(self._client_call(request))
+                self.env.process(self._client(request))
         else:
             self._pending = 0
             self._injecting = True
@@ -143,7 +156,7 @@ class FaaSPlatform:
             if release > env.now:
                 yield env.timeout(release - env.now)
             self._pending += 1
-            env.process(self._client_call(request))
+            env.process(self._client(request))
         self._injecting = False
         if self._pending == 0 and self._all_done is not None:
             self._all_done.succeed()
@@ -163,6 +176,9 @@ class FaaSPlatform:
         # Response leg: invoker -> client.
         yield env.timeout(self.network.response_delay())
         record = CallRecord.from_node_info(info, env.now)
+        self._finish(record)
+
+    def _finish(self, record: CallRecord) -> None:
         if self._collector is not None:
             self._collector.add(record)
         if self._retain_records:
@@ -171,3 +187,86 @@ class FaaSPlatform:
         self._pending -= 1
         if self._pending == 0 and not self._injecting and self._all_done is not None:
             self._all_done.succeed()
+
+    # ------------------------------------------------------------------
+    def _client_call_failures(self, request: "Request"):
+        """The retrying client (failure injection only): per-attempt
+        faults, an optional client-side timeout, and exponential-backoff
+        retries up to the spec's attempt budget (docs/FAILURES.md)."""
+        env = self.env
+        spec = self.failures
+        assert spec is not None and self._failure_rng is not None
+        if request.release_time > env.now:
+            yield env.timeout(request.release_time - env.now)
+        attempt = 0
+        info: Optional["NodeCallInfo"] = None
+        outcome = "ok"
+        while True:
+            attempt += 1
+            # Request leg: client -> controller/Kafka -> invoker.
+            yield env.timeout(self.network.request_delay())
+            fault = self._failure_rng.attempt_fault(spec, request.rid, attempt)
+            index = self.balancer.pick(request)
+            stats = getattr(self.balancer, "stats", None)
+            if stats is not None:  # duck-typed custom balancers may omit it
+                stats.picks += 1
+            done = self.invokers[index].submit(request, fault)
+            if spec.timeout_s > 0.0:
+                yield AnyOf(env, [done, env.timeout(spec.timeout_s)])
+                if done.triggered:
+                    info = done.value
+                    attempt_outcome = info.outcome
+                else:
+                    # Abandon the attempt: the node finishes (or crashes)
+                    # the orphan later; its late response is discarded.
+                    info = None
+                    attempt_outcome = "timeout"
+            else:
+                info = yield done
+                attempt_outcome = info.outcome
+            if attempt_outcome == "ok":
+                break
+            if attempt >= spec.max_attempts:
+                outcome = "gave-up"
+                break
+            # Migrated calls (node crash under crash_inflight="migrate")
+            # re-route immediately; every other retry backs off.
+            if not (
+                attempt_outcome == "node-crash" and spec.crash_inflight == "migrate"
+            ):
+                delay = spec.backoff_base_s * spec.backoff_factor ** (attempt - 1)
+                if delay > 0:
+                    yield env.timeout(delay)
+        if outcome == "ok":
+            # Response leg: invoker -> client.
+            yield env.timeout(self.network.response_delay())
+            record = CallRecord.from_node_info(
+                info, env.now, attempts=attempt, outcome=outcome
+            )
+        elif info is not None:
+            # Gave up on a failed (not timed-out) final attempt: the node
+            # timeline of that attempt is real; keep it.
+            record = CallRecord.from_node_info(
+                info, env.now, attempts=attempt, outcome=outcome
+            )
+        else:
+            # Every attempt timed out: no node timeline ever came back.
+            now = env.now
+            record = CallRecord(
+                rid=request.rid,
+                function_name=request.function.name,
+                invoker="",
+                release_time=request.release_time,
+                received_at=now,
+                dispatched_at=now,
+                exec_start=now,
+                exec_end=now,
+                completed_at=now,
+                service_time=request.service_time,
+                reference_response_time=request.function.median_response_time,
+                cold_start=False,
+                start_kind="none",
+                attempts=attempt,
+                outcome=outcome,
+            )
+        self._finish(record)

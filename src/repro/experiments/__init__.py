@@ -11,6 +11,7 @@ from repro.experiments.adaptive import (
 )
 from repro.experiments.config import ExperimentConfig, MultiNodeConfig
 from repro.experiments.parallel import (
+    CacheVerification,
     EngineOptions,
     EngineStats,
     ResultCache,
@@ -18,6 +19,7 @@ from repro.experiments.parallel import (
     config_fingerprint,
     progress_printer,
     run_configs,
+    verify_cache,
 )
 from repro.experiments.runner import (
     ExperimentResult,
@@ -31,6 +33,7 @@ __all__ = [
     "AdaptiveGridResult",
     "allocate_seeds",
     "run_adaptive_grid",
+    "CacheVerification",
     "EngineOptions",
     "EngineStats",
     "ExperimentConfig",
@@ -44,4 +47,5 @@ __all__ = [
     "run_experiment",
     "run_multi_node_experiment",
     "run_repetitions",
+    "verify_cache",
 ]

@@ -19,6 +19,7 @@ from dataclasses import dataclass, replace
 from typing import Any, Dict, Mapping, Tuple, Union
 
 from repro.cluster.spec import DEFAULT_CLUSTER, ClusterSpec
+from repro.failures.spec import FAILURE_NONE, FailureSpec
 from repro.node.config import NodeConfig
 from repro.scheduling.registry import get_policy
 from repro.workload.registry import get_scenario
@@ -110,6 +111,14 @@ class ExperimentConfig:
         accepted and normalised.  The default is the classic single-node
         experiment; anything else routes the run through the cluster
         path (Sect. VIII) and is part of the cache fingerprint.
+    failures:
+        The fault regime (:class:`~repro.failures.spec.FailureSpec`):
+        node crash/recovery, container kills, stragglers, and the
+        per-invocation timeout/retry policy (see docs/FAILURES.md).  A
+        mapping of ``FailureSpec`` fields is accepted and normalised.
+        The default is the failure-free historical path; anything else
+        routes calls through the retrying client and is part of the
+        cache fingerprint.
     retain_records:
         ``True`` (the default, and what every golden-fingerprint run
         uses) keeps the full O(invocations) ``CallRecord`` list on the
@@ -133,6 +142,7 @@ class ExperimentConfig:
     window_s: float = 60.0
     node_overrides: Tuple[Tuple[str, Any], ...] = ()
     cluster: ClusterSpec = DEFAULT_CLUSTER
+    failures: FailureSpec = FAILURE_NONE
     retain_records: bool = True
 
     def __post_init__(self) -> None:
@@ -177,6 +187,16 @@ class ExperimentConfig:
                 f"cluster must be a ClusterSpec or a mapping of its fields, "
                 f"got {type(self.cluster).__name__}"
             )
+        # The failure regime normalises identically.
+        if self.failures is None:
+            object.__setattr__(self, "failures", FAILURE_NONE)
+        elif isinstance(self.failures, Mapping):
+            object.__setattr__(self, "failures", FailureSpec(**self.failures))
+        elif not isinstance(self.failures, FailureSpec):
+            raise ValueError(
+                f"failures must be a FailureSpec or a mapping of its fields, "
+                f"got {type(self.failures).__name__}"
+            )
 
     def scenario_kwargs(self) -> Dict[str, Any]:
         """The scenario parameters as a plain dict (builder kwargs)."""
@@ -203,7 +223,7 @@ class ExperimentConfig:
         base = f"{self.policy} c={self.cores} v={self.intensity} seed={self.seed}"
         if self.scenario != "uniform":
             base += f" scenario={self.scenario}"
-        return base + self.cluster.label_suffix()
+        return base + self.cluster.label_suffix() + self.failures.label_suffix()
 
 
 @dataclass(frozen=True)

@@ -119,6 +119,7 @@ def run_fig6(
     jobs: int = 1,
     cache_dir: Optional[Union[str, Path]] = None,
     progress: Optional[ProgressCallback] = None,
+    cell_timeout: Optional[float] = None,
 ) -> Fig6Result:
     """Run the multi-node sweep, pooling records over seeds.
 
@@ -133,7 +134,13 @@ def run_fig6(
         for nodes, strategy in cells
         for seed in seeds
     ]
-    flat = run_configs(configs, jobs=jobs, cache_dir=cache_dir, progress=progress)
+    flat = run_configs(
+        configs,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        progress=progress,
+        cell_timeout=cell_timeout,
+    )
 
     stats: Dict[Tuple[int, str], Dict[str, float]] = {}
     per_cell = len(seeds)

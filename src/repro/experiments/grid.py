@@ -17,10 +17,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from repro.cluster.spec import ClusterSpec
 from repro.experiments.config import BASELINE, ExperimentConfig
+from repro.failures.spec import FAILURE_NONE, FailureSpec
 from repro.experiments.parallel import EngineStats, ProgressCallback, run_configs
 from repro.experiments.runner import ExperimentResult
 from repro.metrics.records import CallRecord
@@ -104,8 +105,26 @@ class GridSpec:
     balancer_params: Tuple[Tuple[str, Any], ...] = ()
     #: Attach the reactive autoscaler (default config) to every topology.
     autoscale: bool = False
+    #: Fault regime applied to every cell (node crashes, container kills,
+    #: stragglers, timeout/retry policy — see docs/FAILURES.md).  A mapping
+    #: of :class:`~repro.failures.spec.FailureSpec` fields is accepted and
+    #: normalised; the default keeps the failure-free historical path.
+    failures: FailureSpec = FAILURE_NONE
     #: ``False`` runs every cell in streaming (constant-memory) mode.
     retain_records: bool = True
+
+    def __post_init__(self) -> None:
+        # Normalise like ExperimentConfig: one canonical (hashable,
+        # fingerprintable) FailureSpec per fault regime.
+        if self.failures is None:
+            object.__setattr__(self, "failures", FAILURE_NONE)
+        elif isinstance(self.failures, Mapping):
+            object.__setattr__(self, "failures", FailureSpec(**dict(self.failures)))
+        elif not isinstance(self.failures, FailureSpec):
+            raise ValueError(
+                f"failures must be a FailureSpec or a mapping of its fields, "
+                f"got {type(self.failures).__name__}"
+            )
 
     @classmethod
     def quick(cls) -> "GridSpec":
@@ -460,6 +479,7 @@ def run_grid(
     jobs: int = 1,
     cache_dir: Optional[Union[str, Path]] = None,
     progress: Optional[ProgressCallback] = None,
+    cell_timeout: Optional[float] = None,
 ) -> GridResults:
     """Run (cores × intensity × strategy × topology × seeds) experiments
     under the spec's workload scenario (default: the paper's uniform burst).
@@ -483,6 +503,7 @@ def run_grid(
             scenario_params=spec.scenario_params,
             policy_params=policy_params[strategy],
             cluster=variant,
+            failures=spec.failures,
             retain_records=spec.retain_records,
         )
         for cores, intensity, strategy in spec.cells()
@@ -491,7 +512,12 @@ def run_grid(
     ]
     stats = EngineStats()
     flat = run_configs(
-        configs, jobs=jobs, cache_dir=cache_dir, progress=progress, stats=stats
+        configs,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        progress=progress,
+        stats=stats,
+        cell_timeout=cell_timeout,
     )
     cells: Dict[CellKey, List[ExperimentResult]] = {}
     per_cell = len(spec.seeds)

@@ -6,10 +6,14 @@ independent, fully seeded simulation.  This module exploits that
 independence twice:
 
 * **Parallelism** — :func:`run_configs` shards a list of experiment
-  configurations across a ``multiprocessing`` pool (``jobs=N``).  Tasks are
-  submitted in input order and results are collected with ``imap``, so the
-  returned list order — and, because every run is deterministic given its
-  config, every byte of every result — is identical to the serial path.
+  configurations across worker processes (``jobs=N``), one process per
+  cell.  Results are slotted by input index, so the returned list order —
+  and, because every run is deterministic given its config, every byte of
+  every result — is identical to the serial path.  The engine is
+  crash-hardened: a worker killed by the OS is retried once with backoff
+  before surfacing as a :class:`WorkerError`, and a per-cell wall-clock
+  timeout (``REPRO_CELL_TIMEOUT`` / ``cell_timeout=``) cancels hung cells
+  while the rest of the sweep completes.
 
 * **Caching** — :class:`ResultCache` persists each
   :class:`~repro.experiments.runner.ExperimentResult` under a
@@ -33,15 +37,19 @@ import hashlib
 import json
 import multiprocessing
 import os
+import queue as queue_module
 import sys
+import time
 import traceback
-from dataclasses import dataclass, fields
+from collections import deque
+from dataclasses import dataclass, field, fields
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, List, Optional, TextIO, Tuple, Union
 
 import repro
 from repro.cluster.spec import ClusterSpec
 from repro.experiments.config import ExperimentConfig, MultiNodeConfig
+from repro.failures.spec import FailureSpec
 from repro.experiments.runner import (
     ExperimentResult,
     run_experiment,
@@ -52,6 +60,7 @@ from repro.metrics.streaming import SummaryAccumulator
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "CacheVerification",
     "EngineOptions",
     "EngineStats",
     "ResultCache",
@@ -63,6 +72,7 @@ __all__ = [
     "result_from_payload",
     "run_configs",
     "progress_printer",
+    "verify_cache",
 ]
 
 AnyConfig = Union[ExperimentConfig, MultiNodeConfig]
@@ -76,7 +86,9 @@ ProgressCallback = Callable[[int, int, str, bool], None]
 #: v4: configs carry ``policy_params`` (scheduling-policy registry).
 #: v5: configs carry ``retain_records``; results carry ``accumulator``
 #: (streaming metrics fold) and ``records`` may be ``null``.
-CACHE_SCHEMA_VERSION = 5
+#: v6: configs carry ``failures`` (FailureSpec); records may carry
+#: ``attempts``/``outcome`` and summaries the failure counters.
+CACHE_SCHEMA_VERSION = 6
 
 _CONFIG_TYPES = {
     "ExperimentConfig": ExperimentConfig,
@@ -100,6 +112,8 @@ def config_to_dict(config: AnyConfig) -> Dict[str, Any]:
             data[name] = [list(pair) for pair in data[name]]
     if isinstance(data.get("cluster"), ClusterSpec):
         data["cluster"] = data["cluster"].to_dict()
+    if isinstance(data.get("failures"), FailureSpec):
+        data["failures"] = data["failures"].to_dict()
     return {"type": type(config).__name__, "fields": data}
 
 
@@ -121,6 +135,8 @@ def config_from_dict(payload: Dict[str, Any]) -> AnyConfig:
             data[name] = tuple((key, _untuple(value)) for key, value in data[name])
     if isinstance(data.get("cluster"), dict):
         data["cluster"] = ClusterSpec.from_dict(data["cluster"])
+    if isinstance(data.get("failures"), dict):
+        data["failures"] = FailureSpec.from_dict(data["failures"])
     return cls(**data)
 
 
@@ -240,6 +256,97 @@ class ResultCache:
 
 
 # ----------------------------------------------------------------------
+# Cache verification
+# ----------------------------------------------------------------------
+#: Sidecar directory for quarantined entries.  Not two hex characters, so
+#: the scan (and the cache's own two-level fan-out) never visits it.
+QUARANTINE_DIR = "quarantine"
+
+
+@dataclass
+class CacheVerification:
+    """What :func:`verify_cache` found under one cache root."""
+
+    scanned: int = 0
+    ok: int = 0
+    #: Truncated, non-JSON, or payload-invalid entries.
+    corrupt: int = 0
+    #: Entries written under a different cache schema or package version
+    #: (they can never be hits — fingerprints cover both — but they
+    #: accumulate as dead weight until quarantined).
+    stale: int = 0
+    #: Quarantined file names (relative to the quarantine dir).
+    quarantined: List[str] = field(default_factory=list)
+
+    @property
+    def bad(self) -> int:
+        return self.corrupt + self.stale
+
+
+def _classify_entry(path: Path) -> Optional[str]:
+    """``None`` for a healthy entry, else ``"corrupt"`` or ``"stale"``."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(payload, dict):
+            raise ValueError("payload is not an object")
+        if (
+            payload.get("schema") != CACHE_SCHEMA_VERSION
+            or payload.get("package_version") != repro.__version__
+        ):
+            return "stale"
+        if payload.get("fingerprint") != path.stem:
+            return "corrupt"
+        result_from_payload(payload["result"])
+    except (OSError, ValueError, KeyError, TypeError):
+        return "corrupt"
+    return None
+
+
+def verify_cache(
+    root: Union[str, Path], *, quarantine: bool = True
+) -> CacheVerification:
+    """Scan a cache root and classify every entry.
+
+    Walks the two-level fan-out (``<2 hex>/<fingerprint>.json``), parsing
+    and fully deserializing each entry.  Truncated/corrupt JSON (e.g. a
+    machine that lost power mid-``os.replace`` on a non-atomic filesystem)
+    and schema- or version-stale entries are moved to
+    ``<root>/quarantine/`` (when ``quarantine=True``), so the cache holds
+    only entries that can actually be served.  ``ResultCache.load`` treats
+    bad entries as misses anyway — verification exists to *report* the
+    damage and reclaim the namespace, not to make loads safe.
+    """
+    root = Path(root).expanduser()
+    report = CacheVerification()
+    if not root.is_dir():
+        return report
+    quarantine_dir = root / QUARANTINE_DIR
+    shards = [
+        entry
+        for entry in sorted(root.iterdir())
+        if entry.is_dir() and len(entry.name) == 2
+        and all(c in "0123456789abcdef" for c in entry.name)
+    ]
+    for shard in shards:
+        for path in sorted(shard.glob("*.json")):
+            report.scanned += 1
+            verdict = _classify_entry(path)
+            if verdict is None:
+                report.ok += 1
+                continue
+            if verdict == "stale":
+                report.stale += 1
+            else:
+                report.corrupt += 1
+            if quarantine:
+                quarantine_dir.mkdir(parents=True, exist_ok=True)
+                target = quarantine_dir / f"{shard.name}-{path.name}"
+                os.replace(path, target)
+                report.quarantined.append(target.name)
+    return report
+
+
+# ----------------------------------------------------------------------
 # Engine
 # ----------------------------------------------------------------------
 @dataclass
@@ -250,6 +357,10 @@ class EngineStats:
     computed: int = 0
     cached: int = 0
     jobs: int = 1
+    #: Worker processes that died (e.g. OOM-killed) and were respawned.
+    retries: int = 0
+    #: Cells cancelled for exceeding the per-cell wall-clock timeout.
+    timeouts: int = 0
 
 
 @dataclass(frozen=True)
@@ -259,12 +370,16 @@ class EngineOptions:
     jobs: int = 1
     cache_dir: Optional[str] = None
     progress: Optional[ProgressCallback] = None
+    #: Per-cell wall-clock budget in seconds (``jobs > 1`` only); ``None``
+    #: defers to the ``REPRO_CELL_TIMEOUT`` environment variable.
+    cell_timeout: Optional[float] = None
 
     def run_kwargs(self) -> Dict[str, Any]:
         return {
             "jobs": self.jobs,
             "cache_dir": self.cache_dir,
             "progress": self.progress,
+            "cell_timeout": self.cell_timeout,
         }
 
 
@@ -318,16 +433,30 @@ def _runner_namespace(runner: Optional[Runner]) -> str:
 
 _OK, _ERR = "ok", "err"
 
+#: Environment variable supplying the default per-cell wall-clock budget.
+CELL_TIMEOUT_ENV = "REPRO_CELL_TIMEOUT"
+#: A crashed (not erroring — killed) worker is respawned this many times
+#: total before the cell surfaces as a :class:`WorkerError`.
+_CRASH_MAX_ATTEMPTS = 2
+#: Backoff before respawning a crashed worker: base * 2**(attempt-1).
+_CRASH_BACKOFF_S = 0.25
+#: After a worker process exits, its result may still be in flight in the
+#: queue pipe; wait this long before declaring the death a crash.
+_CRASH_GRACE_S = 1.0
+#: Parent poll interval while waiting on worker results.
+_POLL_S = 0.05
 
-def _execute(task: Tuple[int, AnyConfig, Runner]) -> Tuple[str, int, Any, Any, Any]:
-    """Pool worker: run one experiment, shipping failures back as data so
-    the parent can raise a :class:`WorkerError` with full context."""
-    index, config, runner = task
+
+def _cell_main(index: int, config: AnyConfig, runner: Runner, results) -> None:
+    """Worker process entry: run one experiment, shipping failures back as
+    data so the parent can raise a :class:`WorkerError` with full context.
+    A worker that never reports (killed, hung) is handled by the parent's
+    liveness/deadline tracking — the sweep cannot hang on it."""
     try:
-        return (_OK, index, runner(config), None, None)
+        results.put((_OK, index, runner(config), None, None))
     except Exception as exc:  # noqa: BLE001 - re-raised in the parent
         message = f"{type(exc).__name__}: {exc}"
-        return (_ERR, index, config.label(), message, traceback.format_exc())
+        results.put((_ERR, index, config.label(), message, traceback.format_exc()))
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -335,10 +464,210 @@ def _pool_context() -> multiprocessing.context.BaseContext:
     # but is only safe on Linux — macOS deliberately defaults to spawn
     # (fork is unreliable with threads/the ObjC runtime there) and Windows
     # has no fork.  Elsewhere use the platform default, which works because
-    # _execute and the runners are picklable top-level callables.
+    # _cell_main and the runners are picklable top-level callables.
     if sys.platform == "linux":
         return multiprocessing.get_context("fork")
     return multiprocessing.get_context()  # pragma: no cover - non-Linux
+
+
+def _resolve_cell_timeout(cell_timeout: Optional[float]) -> Optional[float]:
+    """The effective per-cell budget: the explicit value, else the
+    ``REPRO_CELL_TIMEOUT`` environment variable; non-positive disables."""
+    if cell_timeout is None:
+        raw = os.environ.get(CELL_TIMEOUT_ENV, "").strip()
+        if not raw:
+            return None
+        try:
+            cell_timeout = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"{CELL_TIMEOUT_ENV}={raw!r} is not a number (seconds)"
+            ) from None
+    cell_timeout = float(cell_timeout)
+    return cell_timeout if cell_timeout > 0 else None
+
+
+@dataclass
+class _Cell:
+    """Parent-side state of one in-flight worker process."""
+
+    index: int
+    config: AnyConfig
+    run: Runner
+    process: Any
+    started: float
+    deadline: Optional[float]
+    attempt: int
+    died_at: Optional[float] = None
+
+
+class _ProcessEngine:
+    """One process per pending cell, bounded by the worker budget.
+
+    Unlike a ``multiprocessing.Pool`` (whose ``imap`` blocks forever on a
+    worker the OS killed), the parent owns every child ``Process`` and
+    polls liveness and per-cell deadlines itself:
+
+    * a worker that **errors** ships the traceback back and the sweep
+      aborts with :class:`WorkerError` (the historical contract);
+    * a worker that **dies** (OOM killer, SIGKILL) is respawned once with
+      backoff — the cell is deterministic, so the retry is exact — and
+      only a repeat death surfaces as :class:`WorkerError` with the exit
+      code;
+    * a worker that **hangs** past ``cell_timeout`` is terminated and
+      recorded; the rest of the sweep completes before the timeouts are
+      raised as one aggregate :class:`WorkerError`.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        cell_timeout: Optional[float],
+        stats: EngineStats,
+    ) -> None:
+        self.workers = workers
+        self.cell_timeout = cell_timeout
+        self.stats = stats
+        self.context = _pool_context()
+        self.results = self.context.Queue()
+        self.waiting: deque = deque()
+        #: Crashed cells awaiting their backoff: (not_before, index, attempt).
+        self.delayed: List[Tuple[float, int, AnyConfig, Runner, int]] = []
+        self.running: Dict[int, _Cell] = {}
+        #: ``(label, elapsed_s)`` of cells cancelled on deadline.
+        self.timed_out: List[Tuple[str, float]] = []
+
+    def run(self, pending, finished) -> None:
+        for index, config, run in pending:
+            self.waiting.append((index, config, run, 1))
+        try:
+            while self.waiting or self.delayed or self.running:
+                self._promote_delayed()
+                self._launch()
+                if self._drain_one(finished):
+                    continue
+                self._check_running()
+        finally:
+            self._shutdown()
+        if self.timed_out:
+            detail = "; ".join(
+                f"{label!r} after {elapsed:.1f}s" for label, elapsed in self.timed_out
+            )
+            raise WorkerError(
+                self.timed_out[0][0],
+                f"{len(self.timed_out)} cell(s) exceeded the "
+                f"{self.cell_timeout}s cell timeout: {detail}",
+                "(cell cancelled on deadline; no worker traceback)",
+            )
+
+    # -- scheduling ----------------------------------------------------
+    def _promote_delayed(self) -> None:
+        now = time.monotonic()
+        due = [entry for entry in self.delayed if now >= entry[0]]
+        for entry in due:
+            self.delayed.remove(entry)
+            self.waiting.append(entry[1:])
+
+    def _launch(self) -> None:
+        while self.waiting and len(self.running) < self.workers:
+            index, config, run, attempt = self.waiting.popleft()
+            process = self.context.Process(
+                target=_cell_main, args=(index, config, run, self.results)
+            )
+            process.daemon = True
+            process.start()
+            now = time.monotonic()
+            self.running[index] = _Cell(
+                index=index,
+                config=config,
+                run=run,
+                process=process,
+                started=now,
+                deadline=(
+                    now + self.cell_timeout if self.cell_timeout is not None else None
+                ),
+                attempt=attempt,
+            )
+
+    # -- results -------------------------------------------------------
+    def _drain_one(self, finished) -> bool:
+        """Handle one worker message; True when a message was consumed."""
+        try:
+            outcome = self.results.get(timeout=_POLL_S)
+        except queue_module.Empty:
+            return False
+        status, index, payload, message, remote_tb = outcome
+        cell = self.running.pop(index, None)
+        if cell is not None:
+            cell.process.join(timeout=5.0)
+        elif not any(entry[1] == index for entry in self.delayed):
+            # A late result from a cell already cancelled on deadline (or
+            # a respawn raced its predecessor's flush): drop it.
+            return True
+        if status == _ERR:
+            raise WorkerError(payload, message, remote_tb)
+        if cell is None:
+            return True
+        finished(index, cell.config, payload, cached=False)
+        return True
+
+    # -- liveness / deadlines ------------------------------------------
+    def _check_running(self) -> None:
+        now = time.monotonic()
+        for index, cell in list(self.running.items()):
+            if cell.deadline is not None and now >= cell.deadline:
+                self._cancel_on_deadline(cell, now)
+            elif not cell.process.is_alive():
+                if cell.died_at is None:
+                    cell.died_at = now
+                elif now - cell.died_at >= _CRASH_GRACE_S:
+                    self._handle_crash(cell, now)
+
+    def _cancel_on_deadline(self, cell: _Cell, now: float) -> None:
+        del self.running[cell.index]
+        _terminate(cell.process)
+        elapsed = now - cell.started
+        self.stats.timeouts += 1
+        self.timed_out.append((cell.config.label(), elapsed))
+
+    def _handle_crash(self, cell: _Cell, now: float) -> None:
+        """The worker exited without reporting and the grace period passed
+        with no queued result: it was killed (or died before flushing)."""
+        del self.running[cell.index]
+        cell.process.join(timeout=5.0)
+        exitcode = cell.process.exitcode
+        if cell.attempt < _CRASH_MAX_ATTEMPTS:
+            self.stats.retries += 1
+            backoff = _CRASH_BACKOFF_S * 2 ** (cell.attempt - 1)
+            self.delayed.append(
+                (now + backoff, cell.index, cell.config, cell.run, cell.attempt + 1)
+            )
+            return
+        raise WorkerError(
+            cell.config.label(),
+            f"worker process died (exit code {exitcode}) on attempt "
+            f"{cell.attempt}/{_CRASH_MAX_ATTEMPTS}",
+            f"(worker killed with exit code {exitcode}; no traceback — "
+            f"typically the OOM killer or an external signal)",
+        )
+
+    def _shutdown(self) -> None:
+        for cell in self.running.values():
+            _terminate(cell.process)
+        self.running.clear()
+        self.results.close()
+        # Let the queue's feeder machinery wind down without blocking the
+        # raise path on a wedged pipe.
+        self.results.cancel_join_thread()
+
+
+def _terminate(process) -> None:
+    if process.is_alive():
+        process.terminate()
+    process.join(timeout=5.0)
+    if process.is_alive():  # pragma: no cover - SIGTERM ignored
+        process.kill()
+        process.join(timeout=5.0)
 
 
 def run_configs(
@@ -349,6 +678,7 @@ def run_configs(
     runner: Optional[Runner] = None,
     progress: Optional[ProgressCallback] = None,
     stats: Optional[EngineStats] = None,
+    cell_timeout: Optional[float] = None,
 ) -> List[ExperimentResult]:
     """Run experiments, optionally in parallel and through a result cache.
 
@@ -359,9 +689,11 @@ def run_configs(
     jobs:
         Worker processes.  ``1`` (the default) runs inline in this process
         — the exact code path the repo has always had; failures then raise
-        the original exception.  ``N > 1`` shards cache misses across a
-        ``multiprocessing`` pool; a failure in any worker raises
-        :class:`WorkerError` and cancels the remaining work.
+        the original exception.  ``N > 1`` shards cache misses across
+        worker processes (one per cell); a failure in any worker raises
+        :class:`WorkerError` and cancels the remaining work, a *killed*
+        worker is respawned once before doing so (see
+        :class:`_ProcessEngine`).
     cache_dir:
         Root of an on-disk :class:`ResultCache`.  Hits skip computation
         entirely; misses are computed and stored.  ``None`` disables
@@ -377,12 +709,20 @@ def run_configs(
         config (see :func:`progress_printer`).
     stats:
         An :class:`EngineStats` to fill in place (total/computed/cached).
+    cell_timeout:
+        Wall-clock budget per cell in seconds (``jobs > 1`` only — the
+        inline path cannot cancel itself).  ``None`` defers to the
+        ``REPRO_CELL_TIMEOUT`` environment variable; unset or non-positive
+        disables.  A cell over budget is terminated and recorded; the rest
+        of the sweep completes before a :class:`WorkerError` aggregating
+        the cancelled cells is raised.
 
     Results are bit-identical across ``jobs`` values: each config seeds its
     own RNGs inside whichever process runs it, and result order is fixed by
     input order, not completion order.
     """
     configs = list(configs)
+    cell_timeout = _resolve_cell_timeout(cell_timeout)
     stats = stats if stats is not None else EngineStats()
     stats.total = len(configs)
     stats.jobs = max(1, int(jobs))
@@ -424,25 +764,10 @@ def run_configs(
             finished(index, config, run(config), cached=False)
         return results  # type: ignore[return-value]
 
-    if len(pending) == 1:
-        # One miss does not warrant a pool, but jobs > 1 promises the
-        # WorkerError contract, so route through the same wrapper.
-        outcomes = map(_execute, pending)
-    else:
-        workers = min(stats.jobs, len(pending))
-        pool = _pool_context().Pool(processes=workers)
-        # imap yields in submission order regardless of which worker ran
-        # what — deterministic output for free; chunksize=1 load-balances
-        # the heavier high-intensity cells.
-        outcomes = pool.imap(_execute, pending, chunksize=1)
-    try:
-        for (index, config, _), outcome in zip(pending, outcomes):
-            status, _idx, payload, message, remote_tb = outcome
-            if status == _ERR:
-                raise WorkerError(payload, message, remote_tb)
-            finished(index, config, payload, cached=False)
-    finally:
-        if len(pending) > 1:
-            pool.terminate()
-            pool.join()
+    engine = _ProcessEngine(
+        workers=min(stats.jobs, len(pending)),
+        cell_timeout=cell_timeout,
+        stats=stats,
+    )
+    engine.run(pending, finished)
     return results  # type: ignore[return-value]

@@ -40,6 +40,7 @@ from repro.experiments.fig6_multinode import run_fig6
 from repro.experiments.grid import GridSpec, run_grid
 from repro.experiments.parallel import EngineOptions, ProgressCallback
 from repro.experiments.table1 import run_table1
+from repro.failures.spec import FailureSpec
 
 __all__ = [
     "EXPERIMENTS",
@@ -47,6 +48,7 @@ __all__ = [
     "WorkloadSelection",
     "ClusterSelection",
     "PolicySelection",
+    "FailureSelection",
     "run_registered",
     "experiment_ids",
 ]
@@ -143,11 +145,41 @@ class PolicySelection:
 DEFAULT_POLICY_SELECTION = PolicySelection()
 
 
+@dataclass(frozen=True)
+class FailureSelection:
+    """An optional fault-regime override for grid-backed artifacts.
+
+    Empty ``params`` keeps the failure-free historical path; naming
+    :class:`~repro.failures.spec.FailureSpec` fields (``--failure-param
+    node_crash_rate=0.005`` etc.) reruns the artifact's grid with that
+    fault regime injected into every cell (see docs/FAILURES.md).
+    """
+
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @property
+    def is_default(self) -> bool:
+        return not self.params
+
+    def spec(self) -> FailureSpec:
+        return FailureSpec.from_params(self.params)
+
+    def apply(self, spec: GridSpec) -> GridSpec:
+        if self.is_default:
+            return spec
+        return replace(spec, failures=self.spec())
+
+
+#: No override: every artifact runs failure-free.
+DEFAULT_FAILURE_SELECTION = FailureSelection()
+
+
 def _grid_spec(
     quick: bool,
     workload: WorkloadSelection,
     cluster: ClusterSelection,
     policies: PolicySelection,
+    failures: FailureSelection = DEFAULT_FAILURE_SELECTION,
 ) -> GridSpec:
     if quick:
         spec = GridSpec(
@@ -158,14 +190,14 @@ def _grid_spec(
         )
     else:
         spec = GridSpec()
-    return policies.apply(cluster.apply(workload.apply(spec)))
+    return failures.apply(policies.apply(cluster.apply(workload.apply(spec))))
 
 
-def _table1(quick, engine, workload, cluster, policies) -> str:
+def _table1(quick, engine, workload, cluster, policies, failures) -> str:
     return run_table1(calls_per_function=20 if quick else 50).render()
 
 
-def _fig2(quick, engine, workload, cluster, policies) -> str:
+def _fig2(quick, engine, workload, cluster, policies, failures) -> str:
     if quick:
         return run_fig2(
             memories_mb=(4096, 16384, 32768, 131072), intensities=(30, 120)
@@ -173,51 +205,54 @@ def _fig2(quick, engine, workload, cluster, policies) -> str:
     return run_fig2().render()
 
 
-def _fig3(quick, engine, workload, cluster, policies) -> str:
-    spec = _grid_spec(quick, workload, cluster, policies)
+def _fig3(quick, engine, workload, cluster, policies, failures) -> str:
+    spec = _grid_spec(quick, workload, cluster, policies, failures)
     reject_cluster_sweep(spec, "fig3")  # before any simulation time
     return fig3_from_grid(run_grid(spec, **engine.run_kwargs())).render()
 
 
-def _fig4(quick, engine, workload, cluster, policies) -> str:
-    spec = _grid_spec(quick, workload, cluster, policies)
+def _fig4(quick, engine, workload, cluster, policies, failures) -> str:
+    spec = _grid_spec(quick, workload, cluster, policies, failures)
     reject_cluster_sweep(spec, "fig4")  # before any simulation time
     return fig4_from_grid(run_grid(spec, **engine.run_kwargs())).render()
 
 
-def _table2(quick, engine, workload, cluster, policies) -> str:
+def _table2(quick, engine, workload, cluster, policies, failures) -> str:
     if quick:
-        spec = policies.apply(cluster.apply(workload.apply(GridSpec(
+        spec = failures.apply(policies.apply(cluster.apply(workload.apply(GridSpec(
             cores=(5, 20), intensities=(30, 120),
             strategies=("baseline", "FIFO"), seeds=(1, 2),
-        ))))
+        )))))
     else:
-        spec = _grid_spec(quick, workload, cluster, policies)
+        spec = _grid_spec(quick, workload, cluster, policies, failures)
     reject_cluster_sweep(spec, "table2")  # before any simulation time
     return table2_from_grid(run_grid(spec, **engine.run_kwargs())).render()
 
 
-def _table3(quick, engine, workload, cluster, policies) -> str:
-    grid = run_grid(_grid_spec(quick, workload, cluster, policies), **engine.run_kwargs())
+def _table3(quick, engine, workload, cluster, policies, failures) -> str:
+    grid = run_grid(
+        _grid_spec(quick, workload, cluster, policies, failures),
+        **engine.run_kwargs(),
+    )
     result = table3_from_grid(grid)
     return result.render() + "\n\n" + result.render_comparison()
 
 
-def _table4(quick, engine, workload, cluster, policies) -> str:
+def _table4(quick, engine, workload, cluster, policies, failures) -> str:
     if quick:
-        spec = policies.apply(cluster.apply(
+        spec = failures.apply(policies.apply(cluster.apply(
             workload.apply(GridSpec(cores=(10,), intensities=(30,), seeds=(1, 2, 3)))
-        ))
+        )))
     else:
-        spec = _grid_spec(quick, workload, cluster, policies)
+        spec = _grid_spec(quick, workload, cluster, policies, failures)
     return table3_from_grid(run_grid(spec, **engine.run_kwargs()), per_seed=True).render()
 
 
-def _fig5(quick, engine, workload, cluster, policies) -> str:
+def _fig5(quick, engine, workload, cluster, policies, failures) -> str:
     return run_fig5(seeds=(1,) if quick else (1, 2, 3, 4, 5)).render()
 
 
-def _fig6(quick, engine, workload, cluster, policies) -> str:
+def _fig6(quick, engine, workload, cluster, policies, failures) -> str:
     # fig6 is inherently a cluster sweep (over node counts); it honors the
     # engine's jobs/cache/progress knobs and, of the cluster selection,
     # exactly the balancer flavour.  Everything else (its own node counts,
@@ -253,7 +288,7 @@ def _fig6(quick, engine, workload, cluster, policies) -> str:
     return "\n\n".join(reports)
 
 
-def _ablations(quick, engine, workload, cluster, policies) -> str:
+def _ablations(quick, engine, workload, cluster, policies, failures) -> str:
     reports = [
         ablate_estimator_window().render(),
         ablate_busy_limit().render(),
@@ -266,7 +301,15 @@ def _ablations(quick, engine, workload, cluster, policies) -> str:
 
 #: Experiment id -> (description, runner).
 _Runner = Callable[
-    [bool, EngineOptions, WorkloadSelection, ClusterSelection, PolicySelection], str
+    [
+        bool,
+        EngineOptions,
+        WorkloadSelection,
+        ClusterSelection,
+        PolicySelection,
+        FailureSelection,
+    ],
+    str,
 ]
 EXPERIMENTS: Dict[str, tuple[str, _Runner]] = {
     "table1": ("Table I — idle-system SeBS function benchmark", _table1),
@@ -309,6 +352,8 @@ def run_registered(
     autoscale: bool = False,
     policies: Optional[Sequence[str]] = None,
     policy_params: Union[Mapping[str, Any], Tuple[Tuple[str, Any], ...]] = (),
+    failure_params: Union[Mapping[str, Any], Tuple[Tuple[str, Any], ...]] = (),
+    cell_timeout: Optional[float] = None,
 ) -> str:
     """Run a registered experiment and return its rendered report.
 
@@ -323,8 +368,12 @@ def run_registered(
     entry.  ``policies``/``policy_params`` rerun the grid-backed
     artifacts over a different strategy set (any registered scheduling
     policy plus ``baseline`` — see ``faas-sched policies``), with
-    parameters reaching each strategy that declares them.  The remaining
-    artifacts reject the overrides rather than silently ignoring them.
+    parameters reaching each strategy that declares them.
+    ``failure_params`` name :class:`~repro.failures.spec.FailureSpec`
+    fields and rerun the grid-backed artifacts under that fault regime
+    (docs/FAILURES.md); ``cell_timeout`` bounds each cell's wall clock
+    when ``jobs > 1``.  The remaining artifacts reject the overrides
+    rather than silently ignoring them.
     """
     try:
         _, runner = EXPERIMENTS[experiment_id]
@@ -373,7 +422,24 @@ def run_registered(
             f"not honor a policy override; grid-backed artifacts: "
             f"{', '.join(sorted(GRID_BACKED))}"
         )
-    engine = EngineOptions(jobs=jobs, cache_dir=cache_dir, progress=progress)
+    failure_selection = FailureSelection(
+        params=(
+            tuple(failure_params.items())
+            if isinstance(failure_params, Mapping)
+            else tuple(failure_params)
+        ),
+    )
+    if not failure_selection.is_default:
+        if experiment_id not in GRID_BACKED:
+            raise ValueError(
+                f"artifact {experiment_id!r} runs failure-free by protocol "
+                f"and does not honor a failure override; grid-backed "
+                f"artifacts: {', '.join(sorted(GRID_BACKED))}"
+            )
+        failure_selection.spec()  # a bad field name fails before any run
+    engine = EngineOptions(
+        jobs=jobs, cache_dir=cache_dir, progress=progress, cell_timeout=cell_timeout
+    )
     # A mapping is the natural programmatic spelling (ExperimentConfig
     # accepts it too); tuple() on a dict would keep only the keys.
     if isinstance(scenario_params, Mapping):
@@ -381,4 +447,4 @@ def run_registered(
     else:
         params = tuple(scenario_params)
     workload = WorkloadSelection(scenario=scenario, params=params)
-    return runner(quick, engine, workload, cluster, policy_selection)
+    return runner(quick, engine, workload, cluster, policy_selection, failure_selection)

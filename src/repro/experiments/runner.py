@@ -18,6 +18,9 @@ from repro.cluster.autoscaler import ReactiveAutoscaler
 from repro.cluster.controller import make_balancer
 from repro.cluster.platform import FaaSPlatform
 from repro.experiments.config import ExperimentConfig, MultiNodeConfig
+from repro.failures.injector import FailureInjector
+from repro.failures.rng import FailureRng
+from repro.failures.spec import FailureSpec
 from repro.metrics.records import CallRecord
 from repro.metrics.stats import SummaryStats, summarize
 from repro.metrics.streaming import StreamingSummary, SummaryAccumulator
@@ -170,8 +173,10 @@ class ExperimentResult:
         return cluster_breakdown(self)
 
 
-def _node_stats(invoker: Union[Invoker, BaselineInvoker]) -> Dict[str, float]:
-    return {
+def _node_stats(
+    invoker: Union[Invoker, BaselineInvoker], include_failures: bool = False
+) -> Dict[str, float]:
+    stats = {
         "name": invoker.name,
         "is_baseline": invoker.is_baseline,
         "cold_starts": invoker.pool.cold_starts,
@@ -185,6 +190,24 @@ def _node_stats(invoker: Union[Invoker, BaselineInvoker]) -> Dict[str, float]:
         "daemon_ops": dict(invoker.daemon.op_counts),
         "completed": invoker.completed_count,
     }
+    if include_failures:
+        # Gated so failure-free results — and the golden fingerprints
+        # computed over them — keep their historical shape.
+        stats["node_crashes"] = invoker.node_crashes
+        stats["container_kills"] = invoker.container_kills
+        stats["crash_dropped"] = invoker.crash_dropped
+    return stats
+
+
+def _failure_setup(
+    config: AnyConfig,
+) -> "tuple[Optional[FailureSpec], Optional[FailureRng]]":
+    """The config's failure regime as platform kwargs (``(None, None)``
+    on the failure-free path, legacy configs included)."""
+    failures: FailureSpec = getattr(config, "failures", None) or FailureSpec.none()
+    if failures.is_none:
+        return None, None
+    return failures, FailureRng(config.seed)
 
 
 def _build_invoker(
@@ -290,12 +313,17 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     workload = _build_workload(config, rngs)
     if _retains_records(config):
         _require_requests(config, workload)
-    platform = FaaSPlatform(env, [invoker])
+    failures, failure_rng = _failure_setup(config)
+    platform = FaaSPlatform(
+        env, [invoker], failures=failures, failure_rng=failure_rng
+    )
+    # No FailureInjector: with one node there is no crash to inject (the
+    # last live node never crashes); kills/stragglers/timeouts still apply.
     records, accumulator = _drive_platform(config, platform, workload)
     return ExperimentResult(
         config=config,
         records=records,
-        node_stats=[_node_stats(invoker)],
+        node_stats=[_node_stats(invoker, include_failures=failures is not None)],
         accumulator=accumulator,
     )
 
@@ -359,10 +387,21 @@ def _run_cluster_experiment(config: ExperimentConfig) -> ExperimentResult:
             ),
         )
 
-    platform = FaaSPlatform(env, invokers, balancer=balancer)
+    failures, failure_rng = _failure_setup(config)
+    platform = FaaSPlatform(
+        env, invokers, balancer=balancer, failures=failures, failure_rng=failure_rng
+    )
+    injector: Optional[FailureInjector] = None
+    roster = list(invokers)
+    if failures is not None and failures.has_node_crashes:
+        # Crash schedules run against the same live list the balancer and
+        # autoscaler hold; roster nodes drop out and rejoin in place.
+        injector = FailureInjector(env, failures, invokers, failure_rng)
     records, accumulator = _drive_platform(config, platform, workload)
     if autoscaler is not None:
         autoscaler.stop()
+    if injector is not None:
+        injector.stop()
 
     balancer_stats: Dict[str, Any] = {
         "balancer": cluster.balancer,
@@ -372,10 +411,21 @@ def _run_cluster_experiment(config: ExperimentConfig) -> ExperimentResult:
         balancer_stats["scale_events"] = [
             [time, size] for time, size in autoscaler.scale_events
         ]
+    if injector is not None:
+        balancer_stats["node_crashes"] = injector.crashes
+        balancer_stats["skipped_crashes"] = injector.skipped_crashes
+    # Stats cover every node that ever served: the roster (a node still
+    # down when the run ends has left the live list) plus autoscaled
+    # additions, in roster-then-live order (the historical order when no
+    # crash is outstanding).
+    fleet = list(dict.fromkeys([*roster, *invokers]))
     return ExperimentResult(
         config=config,
         records=records,
-        node_stats=[_node_stats(invoker) for invoker in invokers],
+        node_stats=[
+            _node_stats(invoker, include_failures=failures is not None)
+            for invoker in fleet
+        ],
         balancer_stats=balancer_stats,
         accumulator=accumulator,
     )

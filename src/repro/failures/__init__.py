@@ -1,0 +1,15 @@
+"""Failure injection: spec, seeded fault streams, and the node-crash
+injector (see docs/FAILURES.md)."""
+
+from repro.failures.injector import FailureInjector
+from repro.failures.rng import AttemptFault, FailureRng
+from repro.failures.spec import CRASH_INFLIGHT_MODES, FAILURE_NONE, FailureSpec
+
+__all__ = [
+    "AttemptFault",
+    "CRASH_INFLIGHT_MODES",
+    "FAILURE_NONE",
+    "FailureInjector",
+    "FailureRng",
+    "FailureSpec",
+]

@@ -1,0 +1,107 @@
+"""Node crash/recovery processes (graceful degradation).
+
+The :class:`FailureInjector` owns one simulation process per *roster*
+node (the nodes the platform started with; autoscaled additions are not
+crashed).  Each process draws exponential gaps from its node's dedicated
+failure stream, crashes the node — removing it from the shared balancer
+live-list and failing its queued/in-flight calls with outcome
+``"node-crash"`` — and re-inserts it at its roster position after
+``node_recovery_s``.
+
+Two invariants keep degradation graceful and runs deterministic:
+
+* **The last live node never crashes.**  A due crash on the only live
+  node is skipped (the gap was still consumed, so the schedule is
+  unchanged); the platform always stays reachable and ``balancer.pick``
+  never sees an empty list.
+* **Recovery re-inserts at the roster position** (before any autoscaled
+  nodes), so the live-list order — which index-picking balancers depend
+  on — is a pure function of simulated history.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, List
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.failures.rng import FailureRng
+    from repro.failures.spec import FailureSpec
+    from repro.sim.core import Environment
+
+__all__ = ["FailureInjector"]
+
+
+class FailureInjector:
+    """Drives the crash/recovery schedule of every roster node.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    spec:
+        The failure regime; only its node-crash fields are read here.
+    invokers:
+        The **shared live list** — the same object the platform, the
+        balancer, and the autoscaler hold.  Crashes mutate it in place.
+    rng:
+        The run's failure streams (one crash schedule per roster node).
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        spec: "FailureSpec",
+        invokers: List[Any],
+        rng: "FailureRng",
+    ) -> None:
+        self.env = env
+        self.spec = spec
+        self._live = invokers
+        self._roster = tuple(invokers)
+        self._rng = rng
+        self._stopped = False
+        self.crashes = 0
+        self.skipped_crashes = 0
+        if spec.has_node_crashes:
+            for ordinal, node in enumerate(self._roster):
+                env.process(self._node_loop(ordinal, node))
+
+    def stop(self) -> None:
+        """Wind down after the run: loops exit at their next wake-up."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    def _node_loop(self, ordinal: int, node: Any):
+        gen = self._rng.node_stream(ordinal)
+        scale = 1.0 / self.spec.node_crash_rate
+        while not self._stopped:
+            yield self.env.timeout(float(gen.exponential(scale)))
+            if self._stopped:
+                return
+            if node not in self._live or len(self._live) <= 1:
+                # Scaled away, or the last node standing: skip this crash
+                # (the gap was consumed; the schedule marches on).
+                self.skipped_crashes += 1
+                continue
+            self._crash(node)
+            yield self.env.timeout(self.spec.node_recovery_s)
+            if self._stopped:
+                return
+            self._recover(node)
+
+    def _crash(self, node: Any) -> None:
+        self.crashes += 1
+        self._live.remove(node)
+        node.crash()
+
+    def _recover(self, node: Any) -> None:
+        node.recover()
+        # Roster nodes occupy a stable prefix of the live list; re-insert
+        # after the live roster predecessors, before autoscaled additions.
+        position = 0
+        for prev in self._roster:
+            if prev is node:
+                break
+            if prev in self._live:
+                position += 1
+        self._live.insert(position, node)

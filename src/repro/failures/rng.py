@@ -1,0 +1,98 @@
+"""Dedicated seeded randomness for failure injection.
+
+Two properties matter:
+
+1. **Independence from the workload.**  Fault draws must not perturb the
+   arrival/service streams — an experiment with failures sees the *same*
+   workload as one without.  Failure streams therefore derive from the
+   experiment seed through their own :class:`numpy.random.SeedSequence`
+   spawn keys (the same FNV-keyed scheme as
+   :class:`~repro.sim.rng.RngRegistry`), never from the registry streams.
+2. **Draw-order independence.**  Event interleavings differ between
+   otherwise-identical runs only in wall-clock, never in simulated order,
+   but retries make the *number* of draws per call state-dependent.  Each
+   ``(rid, attempt)`` pair therefore gets its own derived generator: what
+   one attempt draws can never shift another call's faults, which is what
+   keeps serial and ``jobs=N`` sweeps bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.sim.rng import _stable_hash
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.failures.spec import FailureSpec
+
+__all__ = ["AttemptFault", "FailureRng"]
+
+_ATTEMPT_KEY = _stable_hash("failures:attempt")
+_NODE_KEY = _stable_hash("failures:node")
+
+
+@dataclass(frozen=True)
+class AttemptFault:
+    """The faults one attempt of one call is subjected to.
+
+    ``straggler`` multiplies the attempt's I/O and CPU work (degraded
+    container); ``kill_fraction`` — when not ``None`` — is the fraction
+    of that (already scaled) work the container burns before dying, after
+    which the attempt fails with outcome ``"container-kill"``.
+    """
+
+    straggler: float = 1.0
+    kill_fraction: Optional[float] = None
+
+    @property
+    def kills(self) -> bool:
+        return self.kill_fraction is not None
+
+    def scale(self, work: float) -> float:
+        """The work this attempt actually executes."""
+        scaled = work * self.straggler
+        if self.kill_fraction is not None:
+            scaled *= self.kill_fraction
+        return scaled
+
+
+class FailureRng:
+    """Derives the per-attempt and per-node failure streams for one run."""
+
+    def __init__(self, seed: int) -> None:
+        self.seed = int(seed)
+
+    def attempt_fault(
+        self, spec: "FailureSpec", rid: int, attempt: int
+    ) -> Optional[AttemptFault]:
+        """The fault (or ``None``) for attempt *attempt* of call *rid*.
+
+        Pure function of ``(seed, rid, attempt)`` — a fresh generator per
+        pair, with a fixed draw order (kill decision, kill fraction,
+        straggler decision) so adding one hazard never reshuffles another.
+        """
+        if not spec.has_attempt_faults:
+            return None
+        seq = np.random.SeedSequence(
+            entropy=self.seed, spawn_key=(_ATTEMPT_KEY, int(rid), int(attempt))
+        )
+        gen = np.random.Generator(np.random.PCG64(seq))
+        kill_fraction: Optional[float] = None
+        if spec.container_kill_rate > 0.0 and gen.random() < spec.container_kill_rate:
+            kill_fraction = float(gen.random())
+        straggler = 1.0
+        if spec.straggler_prob > 0.0 and gen.random() < spec.straggler_prob:
+            straggler = spec.straggler_factor
+        if kill_fraction is None and straggler == 1.0:
+            return None
+        return AttemptFault(straggler=straggler, kill_fraction=kill_fraction)
+
+    def node_stream(self, ordinal: int) -> np.random.Generator:
+        """The crash-schedule generator for roster node *ordinal*."""
+        seq = np.random.SeedSequence(
+            entropy=self.seed, spawn_key=(_NODE_KEY, int(ordinal))
+        )
+        return np.random.Generator(np.random.PCG64(seq))

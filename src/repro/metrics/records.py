@@ -36,6 +36,11 @@ class CallRecord:
     reference_response_time: float
     cold_start: bool
     start_kind: str
+    #: Attempts the client made (1 unless failure injection retried).
+    attempts: int = 1
+    #: Final disposition: ``"ok"`` or ``"gave-up"`` (retry budget
+    #: exhausted under failure injection — see docs/FAILURES.md).
+    outcome: str = "ok"
 
     @property
     def response_time(self) -> float:
@@ -58,11 +63,17 @@ class CallRecord:
         """Node-measured execution duration."""
         return self.exec_end - self.exec_start
 
+    @property
+    def failed(self) -> bool:
+        return self.outcome != "ok"
+
     @classmethod
     def from_node_info(
         cls,
         info: "NodeCallInfo",
         completed_at: float,
+        attempts: int = 1,
+        outcome: str = "ok",
     ) -> "CallRecord":
         """Assemble a client record from node-level info plus the moment
         the response reached the client."""
@@ -81,4 +92,6 @@ class CallRecord:
             reference_response_time=request.function.median_response_time,
             cold_start=info.cold_start,
             start_kind=info.start_kind,
+            attempts=attempts,
+            outcome=outcome,
         )

@@ -26,17 +26,36 @@ __all__ = [
 #: are stable across runs (useful for diffing cache entries).
 _RECORD_FIELDS = tuple(f.name for f in fields(CallRecord))
 
+#: Failure-injection fields are serialized *sparsely*: the failure-free
+#: values are omitted, so records from the historical code path — and the
+#: golden fingerprints computed over them — are byte-identical to before
+#: the fields existed.
+_SPARSE_DEFAULTS = {"attempts": 1, "outcome": "ok"}
+
 
 def record_to_dict(record: CallRecord) -> Dict[str, Any]:
-    """A JSON-compatible dict with one key per dataclass field."""
-    return {name: getattr(record, name) for name in _RECORD_FIELDS}
+    """A JSON-compatible dict with one key per dataclass field (sparse
+    fields omitted at their failure-free defaults)."""
+    data = {}
+    for name in _RECORD_FIELDS:
+        value = getattr(record, name)
+        if name in _SPARSE_DEFAULTS and value == _SPARSE_DEFAULTS[name]:
+            continue
+        data[name] = value
+    return data
 
 
 def record_from_dict(data: Dict[str, Any]) -> CallRecord:
     """Inverse of :func:`record_to_dict`; ignores unknown keys so cache
     entries written by newer minor revisions still load when the record
-    schema only grew."""
-    return CallRecord(**{name: data[name] for name in _RECORD_FIELDS})
+    schema only grew, and fills sparse fields with their defaults."""
+    return CallRecord(
+        **{
+            name: data.get(name, _SPARSE_DEFAULTS[name]) if name in _SPARSE_DEFAULTS
+            else data[name]
+            for name in _RECORD_FIELDS
+        }
+    )
 
 
 def records_to_dicts(records: Iterable[CallRecord]) -> List[Dict[str, Any]]:

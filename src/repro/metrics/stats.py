@@ -77,6 +77,12 @@ class SummaryStats:
     stretch_percentiles: dict
     max_completion_time: float
     cold_starts: int
+    #: Failure-injection accounting (all zero on the failure-free path):
+    #: extra attempts beyond the first, calls that exhausted their retry
+    #: budget, and failed attempts overall (see docs/FAILURES.md).
+    retries: int = 0
+    gave_up: int = 0
+    failed_calls: int = 0
 
     def response_percentile(self, q: int) -> float:
         return self.response_time_percentiles[q]
@@ -115,4 +121,9 @@ def summarize(records: Iterable[CallRecord]) -> SummaryStats:
         },
         max_completion_time=float(completions.max()),
         cold_starts=sum(1 for r in records if r.cold_start),
+        retries=sum(r.attempts - 1 for r in records),
+        gave_up=sum(1 for r in records if r.outcome == "gave-up"),
+        failed_calls=sum(
+            (r.attempts - 1) + (1 if r.outcome != "ok" else 0) for r in records
+        ),
     )

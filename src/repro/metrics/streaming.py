@@ -362,6 +362,11 @@ class StreamingSummary:
     #: counterpart — extra information, not a compatibility break.
     std_response_time: float = 0.0
     std_stretch: float = 0.0
+    #: Failure-injection accounting (exact integers, zero on the
+    #: failure-free path) — mirrors ``SummaryStats``.
+    retries: int = 0
+    gave_up: int = 0
+    failed_calls: int = 0
 
     def response_percentile(self, q: int) -> float:
         return self.response_time_percentiles[q]
@@ -395,6 +400,9 @@ class SummaryAccumulator:
     compression: float = 200.0
     n_calls: int = 0
     cold_starts: int = 0
+    retries: int = 0
+    gave_up: int = 0
+    failed_calls: int = 0
     max_completion_time: float = float("-inf")
     response_sum: ExactSum = field(default_factory=ExactSum)
     response_sumsq: ExactSum = field(default_factory=ExactSum)
@@ -417,6 +425,12 @@ class SummaryAccumulator:
         self.n_calls += 1
         if record.cold_start:
             self.cold_starts += 1
+        # Same accounting as repro.metrics.stats.summarize, so retained
+        # and streaming runs report identical failure counters.
+        self.retries += record.attempts - 1
+        if record.outcome == "gave-up":
+            self.gave_up += 1
+        self.failed_calls += (record.attempts - 1) + (1 if record.outcome != "ok" else 0)
         if record.completed_at > self.max_completion_time:
             self.max_completion_time = record.completed_at
         self.response_sum.add(response)
@@ -432,6 +446,9 @@ class SummaryAccumulator:
         within their rank bound."""
         self.n_calls += other.n_calls
         self.cold_starts += other.cold_starts
+        self.retries += other.retries
+        self.gave_up += other.gave_up
+        self.failed_calls += other.failed_calls
         if other.max_completion_time > self.max_completion_time:
             self.max_completion_time = other.max_completion_time
         self.response_sum.merge(other.response_sum)
@@ -468,6 +485,9 @@ class SummaryAccumulator:
             cold_starts=self.cold_starts,
             std_response_time=self._std(self.response_sumsq, self.response_sum, n),
             std_stretch=self._std(self.stretch_sumsq, self.stretch_sum, n),
+            retries=self.retries,
+            gave_up=self.gave_up,
+            failed_calls=self.failed_calls,
         )
 
     # ------------------------------------------------------------------
@@ -477,6 +497,9 @@ class SummaryAccumulator:
             "compression": self.compression,
             "n_calls": self.n_calls,
             "cold_starts": self.cold_starts,
+            "retries": self.retries,
+            "gave_up": self.gave_up,
+            "failed_calls": self.failed_calls,
             "max_completion_time": self.max_completion_time,
             "response_sum": self.response_sum.to_list(),
             "response_sumsq": self.response_sumsq.to_list(),
@@ -492,6 +515,9 @@ class SummaryAccumulator:
             compression=data["compression"],
             n_calls=int(data["n_calls"]),
             cold_starts=int(data["cold_starts"]),
+            retries=int(data.get("retries", 0)),
+            gave_up=int(data.get("gave_up", 0)),
+            failed_calls=int(data.get("failed_calls", 0)),
             max_completion_time=float(data["max_completion_time"]),
             response_sum=ExactSum.from_list(data["response_sum"]),
             response_sumsq=ExactSum.from_list(data["response_sumsq"]),

@@ -18,7 +18,7 @@ Behaviour per paper Sect. III:
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Deque, List, Optional, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
 
 from repro.node.container import ContainerState
 from repro.node.docker import DockerDaemon
@@ -29,6 +29,7 @@ from repro.sim.cpu import SharedCPU, linear_overhead_efficiency
 from repro.sim.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.failures.rng import AttemptFault
     from repro.sim.core import Environment
     from repro.node.config import NodeConfig
     from repro.workload.functions import FunctionSpec
@@ -62,7 +63,9 @@ class BaselineInvoker:
         self.memory = MemoryPool(config.memory_mb)
         self.pool = ContainerPool(env, config, self.daemon, self.memory)
         self.pool.bootstrap_prewarm()
-        self._queue: Deque[Tuple["Request", NodeCallInfo, Event]] = deque()
+        self._queue: Deque[
+            Tuple["Request", NodeCallInfo, Event, "Optional[AttemptFault]"]
+        ] = deque()
         self._running = 0
         #: Per-call timelines (O(calls) memory); streaming runs set
         #: :attr:`retain_completed` to ``False`` to keep only the counter.
@@ -70,6 +73,13 @@ class BaselineInvoker:
         self.completed_count = 0
         self.retain_completed = True
         self.submitted = 0
+        #: False while crashed (no dispatching; out of the balancer list).
+        self.live = True
+        #: In-flight attempts, so a crash can fail them (see crash()).
+        self._inflight: Dict[Event, NodeCallInfo] = {}
+        self.node_crashes = 0
+        self.container_kills = 0
+        self.crash_dropped = 0
 
     # ------------------------------------------------------------------
     @property
@@ -92,8 +102,10 @@ class BaselineInvoker:
         for spec in specs:
             self.pool.seed_warm(spec, count)
 
-    def submit(self, request: "Request") -> Event:
-        """Receive a call; greedy immediate placement, else FIFO queue."""
+    def submit(self, request: "Request", fault: "Optional[AttemptFault]" = None) -> Event:
+        """Receive a call; greedy immediate placement, else FIFO queue.
+        *fault* (failure injection only) degrades or kills this attempt's
+        container — see docs/FAILURES.md."""
         self.submitted += 1
         done = Event(self.env)
         info = NodeCallInfo(
@@ -102,33 +114,78 @@ class BaselineInvoker:
             received_at=self.env.now,
             queue_length_at_receipt=len(self._queue),
         )
-        self._queue.append((request, info, done))
+        self._queue.append((request, info, done, fault))
         self._drain()
         return done
+
+    def crash(self) -> None:
+        """Fail this node: every queued and in-flight call completes with
+        outcome ``"node-crash"`` (the client retries or migrates it per
+        the failure spec) and placement stops until :meth:`recover`."""
+        self.live = False
+        self.node_crashes += 1
+        while self._queue:
+            request, info, done, _fault = self._queue.popleft()
+            self._fail_attempt(info, done)
+        for done, info in list(self._inflight.items()):
+            if not done.triggered:
+                self._fail_attempt(info, done)
+        self._inflight.clear()
+
+    def recover(self) -> None:
+        """Rejoin after a crash (the injector re-inserts this node into
+        the balancer live-list)."""
+        self.live = True
+        self._drain()
+
+    def _fail_attempt(self, info: NodeCallInfo, done: Event) -> None:
+        info.outcome = "node-crash"
+        info.finished_at = self.env.now
+        self.completed_count += 1
+        self.crash_dropped += 1
+        done.succeed(info)
 
     # ------------------------------------------------------------------
     def _drain(self) -> None:
         """Place queued requests head-first while the greedy algorithm
         succeeds; the head blocks the queue when it cannot be placed
         (it waits for a freed container or freed memory)."""
+        if not self.live:
+            return
         while self._queue:
-            request, info, done = self._queue[0]
+            request, info, done, fault = self._queue[0]
             plan = self.pool.acquire(request.function, allow_prewarm=True)
             if plan is None:
                 break
             self._queue.popleft()
             self._running += 1
-            self.env.process(self._run(request, info, done, plan))
+            self._inflight[done] = info
+            self.env.process(self._run(request, info, done, plan, fault))
 
-    def _run(self, request: "Request", info: NodeCallInfo, done: Event, plan):
+    def _run(
+        self,
+        request: "Request",
+        info: NodeCallInfo,
+        done: Event,
+        plan,
+        fault: "Optional[AttemptFault]" = None,
+    ):
         env = self.env
-        info.dispatched_at = env.now
         container = plan.container
+        if done.triggered:  # node crashed before this process first ran
+            self.pool.release(container)
+            self._running -= 1
+            return
+        info.dispatched_at = env.now
         info.start_kind = plan.kind
         weight = container.memory_mb / _STD_MEMORY_MB
 
         if self.config.invoker_overhead_s:
             yield env.timeout(self.config.invoker_overhead_s)
+        if done.triggered:  # node crashed while we slept
+            self.pool.release(container)
+            self._running -= 1
+            return
 
         if plan.kind == "warm":
             # Reviving a paused container needs a (cheap) serialized daemon
@@ -161,17 +218,26 @@ class BaselineInvoker:
             task = self.cpu.execute(system_work, weight=weight, label="system")
             yield task.event
         info.exec_start = env.now
-        if request.io_time > 0:
-            yield env.timeout(request.io_time)
-        if request.cpu_work > 0:
+        io_time = request.io_time if fault is None else fault.scale(request.io_time)
+        cpu_work = request.cpu_work if fault is None else fault.scale(request.cpu_work)
+        if io_time > 0:
+            yield env.timeout(io_time)
+        if cpu_work > 0:
             task = self.cpu.execute(
-                request.cpu_work,
+                cpu_work,
                 weight=weight,
                 max_rate=1.0,
                 label=request.function.name,
             )
             yield task.event
         info.exec_end = env.now
+        if done.triggered:  # crashed mid-execution; crash() settled the call
+            self.pool.release(container)
+            self._running -= 1
+            return
+        if fault is not None and fault.kills:
+            info.outcome = "container-kill"
+            self.container_kills += 1
 
         self.pool.release(container)
         info.finished_at = env.now
@@ -179,6 +245,7 @@ class BaselineInvoker:
             self.completed.append(info)
         self.completed_count += 1
         self._running -= 1
+        self._inflight.pop(done, None)
         done.succeed(info)
         # A container and possibly memory freed: retry the queue head.
         self._drain()

@@ -12,7 +12,7 @@ Differences from the stock OpenWhisk invoker (paper Sect. IV):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, List, Mapping, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional
 
 from repro.node.container import ContainerState
 from repro.node.docker import DockerDaemon
@@ -25,6 +25,7 @@ from repro.sim.cpu import SharedCPU, linear_overhead_efficiency
 from repro.sim.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.failures.rng import AttemptFault
     from repro.sim.core import Environment
     from repro.node.config import NodeConfig
     from repro.workload.functions import FunctionSpec
@@ -47,6 +48,9 @@ class NodeCallInfo:
     #: Placement kind: hot / paused / prewarm / cold.
     start_kind: str = ""
     queue_length_at_receipt: int = 0
+    #: Attempt disposition: ``"ok"``, or a failure kind
+    #: (``"node-crash"`` / ``"container-kill"`` — see docs/FAILURES.md).
+    outcome: str = "ok"
 
     @property
     def cold_start(self) -> bool:
@@ -122,6 +126,13 @@ class Invoker:
         self.completed_count = 0
         self.retain_completed = True
         self.submitted = 0
+        #: False while crashed (no dispatching; out of the balancer list).
+        self.live = True
+        #: In-flight attempts, so a crash can fail them (see crash()).
+        self._inflight: Dict[Event, NodeCallInfo] = {}
+        self.node_crashes = 0
+        self.container_kills = 0
+        self.crash_dropped = 0
 
     # ------------------------------------------------------------------
     @property
@@ -160,10 +171,11 @@ class Invoker:
                     spec.name, spec.service_distribution.median
                 )
 
-    def submit(self, request: "Request") -> Event:
+    def submit(self, request: "Request", fault: "Optional[AttemptFault]" = None) -> Event:
         """Receive a call (``r'(i)`` = now); returns an event that fires
         with the call's :class:`NodeCallInfo` when the response leaves the
-        node."""
+        node.  *fault* (failure injection only) degrades or kills this
+        attempt's container — see docs/FAILURES.md."""
         received_at = self.env.now
         self.submitted += 1
         done = Event(self.env)
@@ -174,23 +186,68 @@ class Invoker:
             queue_length_at_receipt=len(self.queue),
         )
         priority = self.policy.on_received(request, received_at)
-        self.queue.push(priority, (request, info, done))
+        self.queue.push(priority, (request, info, done, fault))
         self._maybe_dispatch()
         return done
 
+    def crash(self) -> None:
+        """Fail this node: every queued and in-flight call completes with
+        outcome ``"node-crash"`` (the client retries or migrates it per
+        the failure spec) and dispatching stops until :meth:`recover`.
+        Simulation processes already executing attempts notice the
+        triggered ``done`` event at their next wake-up and bail out."""
+        self.live = False
+        self.node_crashes += 1
+        while self.queue:
+            _, (request, info, done, _fault) = self.queue.pop()
+            self._fail_attempt(info, done)
+        for done, info in list(self._inflight.items()):
+            if not done.triggered:
+                self._fail_attempt(info, done)
+        self._inflight.clear()
+
+    def recover(self) -> None:
+        """Rejoin after a crash (the injector re-inserts this node into
+        the balancer live-list)."""
+        self.live = True
+        self._maybe_dispatch()
+
+    def _fail_attempt(self, info: NodeCallInfo, done: Event) -> None:
+        info.outcome = "node-crash"
+        info.finished_at = self.env.now
+        self.completed_count += 1
+        self.crash_dropped += 1
+        done.succeed(info)
+
     # ------------------------------------------------------------------
     def _maybe_dispatch(self) -> None:
+        if not self.live:
+            return
         limit = self.config.effective_busy_limit
         while self._busy < limit and self.queue:
-            priority, (request, info, done) = self.queue.pop()
+            priority, (request, info, done, fault) = self.queue.pop()
             self._busy += 1
-            self.env.process(self._run(request, info, done, priority))
+            self._inflight[done] = info
+            self.env.process(self._run(request, info, done, priority, fault))
 
-    def _run(self, request: "Request", info: NodeCallInfo, done: Event, priority: float):
+    def _run(
+        self,
+        request: "Request",
+        info: NodeCallInfo,
+        done: Event,
+        priority: float,
+        fault: "Optional[AttemptFault]" = None,
+    ):
         env = self.env
+        if done.triggered:  # node crashed before this process first ran
+            self._busy -= 1
+            return
         info.dispatched_at = env.now
         if self.config.invoker_overhead_s:
             yield env.timeout(self.config.invoker_overhead_s)
+        if done.triggered:  # node crashed while we slept
+            self._busy -= 1
+            return
 
         # -- arrange a container -----------------------------------------
         plan = self.pool.acquire(request.function)
@@ -199,6 +256,9 @@ class Invoker:
             # wait briefly for a release.  With busy <= cores and bounded
             # per-container memory this is rare by construction.
             yield env.timeout(self.config.pause_grace_s)
+            if done.triggered:
+                self._busy -= 1
+                return
             plan = self.pool.acquire(request.function)
         container = plan.container
         info.start_kind = plan.kind
@@ -225,6 +285,10 @@ class Invoker:
                 task = self.cpu.execute(self.config.prewarm_init_cpu_s, label="prewarm-init")
                 yield task.event
         container.state = ContainerState.HOT
+        if done.triggered:
+            self.pool.release(container)
+            self._busy -= 1
+            return
 
         # -- execute the call (dedicated core; I/O idles the core) --------
         system_work = self.config.system_cpu_coeff_s * max(
@@ -239,22 +303,35 @@ class Invoker:
             task = self.cpu.execute(system_work, weight=1.0, max_rate=1.0, label="system")
             yield task.event
         info.exec_start = env.now
-        if request.io_time > 0:
-            yield env.timeout(request.io_time)
-        if request.cpu_work > 0:
+        io_time = request.io_time if fault is None else fault.scale(request.io_time)
+        cpu_work = request.cpu_work if fault is None else fault.scale(request.cpu_work)
+        if io_time > 0:
+            yield env.timeout(io_time)
+        if cpu_work > 0:
             task = self.cpu.execute(
-                request.cpu_work, weight=1.0, max_rate=1.0, label=request.function.name
+                cpu_work, weight=1.0, max_rate=1.0, label=request.function.name
             )
             yield task.event
         info.exec_end = env.now
+        if done.triggered:  # crashed mid-execution; crash() settled the call
+            self.pool.release(container)
+            self._busy -= 1
+            return
+        if fault is not None and fault.kills:
+            info.outcome = "container-kill"
+            self.container_kills += 1
 
         # -- bookkeeping ---------------------------------------------------
-        self.policy.on_completed(request, info.processing_time)
+        if info.outcome == "ok":
+            # Failed attempts teach the estimator nothing: the node never
+            # saw the function's own duration.
+            self.policy.on_completed(request, info.processing_time)
         self.pool.release(container)
         info.finished_at = env.now
         if self.retain_completed:
             self.completed.append(info)
         self.completed_count += 1
         self._busy -= 1
+        self._inflight.pop(done, None)
         done.succeed(info)
         self._maybe_dispatch()

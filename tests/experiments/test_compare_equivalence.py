@@ -37,7 +37,17 @@ from repro.metrics.compare import (
 #: integer counters, max-tracking) vs. estimated by the t-digest sketch.
 #: Every COMPARE_METRICS entry must appear in exactly one set (enforced
 #: below) — a new comparison metric fails until classified.
-EXACT_METRICS = {"mean_response_time", "mean_stretch", "cold_starts", "makespan"}
+EXACT_METRICS = {
+    "mean_response_time",
+    "mean_stretch",
+    "cold_starts",
+    "makespan",
+    # Failure accounting: integer counters summed exactly in both modes
+    # (see docs/FAILURES.md and tests/experiments/test_failure_determinism.py).
+    "retries",
+    "gave_up",
+    "failed_calls",
+}
 SKETCHED_METRICS = {
     "p50_response_time",
     "p95_response_time",

@@ -1,0 +1,203 @@
+"""Crash-hardened grid engine: killed workers are respawned with backoff,
+hung cells are cancelled on the per-cell deadline while the rest of the
+sweep completes, and ``verify_cache`` quarantines damaged cache entries.
+"""
+
+import json
+import os
+import signal
+import time
+from pathlib import Path
+
+import pytest
+
+import repro.experiments.parallel as parallel
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import (
+    CELL_TIMEOUT_ENV,
+    EngineStats,
+    WorkerError,
+    config_fingerprint,
+    run_configs,
+    verify_cache,
+)
+from repro.experiments.runner import run_experiment
+
+
+def tiny_configs(n=3):
+    return [
+        ExperimentConfig(cores=4, intensity=10, policy="FIFO", seed=seed)
+        for seed in range(1, n + 1)
+    ]
+
+
+def crash_once_runner(config):
+    """SIGKILLs the seed-1 worker on its first attempt only (sentinel on
+    disk), simulating an OOM kill the retry recovers from."""
+    sentinel = Path(os.environ["REPRO_TEST_CRASH_SENTINEL"])
+    if config.seed == 1 and not sentinel.exists():
+        sentinel.write_text("crashed")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return run_experiment(config)
+
+
+def crash_always_runner(config):
+    """The seed-1 cell dies on every attempt: the retry budget must
+    exhaust into a WorkerError, never a hang."""
+    if config.seed == 1:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return run_experiment(config)
+
+
+def sleepy_runner(config):
+    """The seed-1 cell hangs far past any reasonable deadline."""
+    if config.seed == 1:
+        time.sleep(120.0)
+    return run_experiment(config)
+
+
+class TestWorkerCrash:
+    def test_killed_worker_is_respawned_and_the_cell_completes(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(
+            "REPRO_TEST_CRASH_SENTINEL", str(tmp_path / "sentinel")
+        )
+        configs = tiny_configs()
+        stats = EngineStats()
+        results = run_configs(
+            configs, jobs=2, runner=crash_once_runner, stats=stats
+        )
+        assert stats.retries == 1
+        assert stats.computed == len(configs)
+        assert [r.config.seed for r in results] == [1, 2, 3]
+        # The respawned cell is deterministic: bit-identical to inline.
+        assert results[0].records == run_experiment(configs[0]).records
+
+    def test_repeated_death_surfaces_as_worker_error_with_exit_code(self):
+        stats = EngineStats()
+        with pytest.raises(WorkerError) as err:
+            run_configs(
+                tiny_configs(), jobs=2, runner=crash_always_runner, stats=stats
+            )
+        assert stats.retries == 1  # one respawn before giving up
+        assert "worker process died" in str(err.value)
+        assert "exit code" in str(err.value)
+        assert tiny_configs()[0].label() in str(err.value)
+
+
+class TestCellTimeout:
+    def test_hung_cell_is_cancelled_and_the_sweep_completes(self, tmp_path):
+        configs = tiny_configs()
+        cache_dir = tmp_path / "cache"
+        stats = EngineStats()
+        with pytest.raises(WorkerError) as err:
+            run_configs(
+                configs,
+                jobs=2,
+                runner=sleepy_runner,
+                cache_dir=cache_dir,
+                stats=stats,
+                cell_timeout=3.0,
+            )
+        assert stats.timeouts == 1
+        assert configs[0].label() in str(err.value)
+        assert "cell timeout" in str(err.value)
+        # The other cells finished (and were cached) before the raise.
+        assert stats.computed == len(configs) - 1
+        cached = list(cache_dir.glob("*/*.json"))
+        assert len(cached) == len(configs) - 1
+
+    def test_env_var_supplies_the_default_budget(self, monkeypatch):
+        monkeypatch.setenv(CELL_TIMEOUT_ENV, "2.5")
+        assert parallel._resolve_cell_timeout(None) == 2.5
+        # An explicit value wins over the environment.
+        assert parallel._resolve_cell_timeout(1.0) == 1.0
+
+    def test_non_positive_disables(self, monkeypatch):
+        monkeypatch.setenv(CELL_TIMEOUT_ENV, "0")
+        assert parallel._resolve_cell_timeout(None) is None
+        assert parallel._resolve_cell_timeout(-5.0) is None
+        monkeypatch.delenv(CELL_TIMEOUT_ENV)
+        assert parallel._resolve_cell_timeout(None) is None
+
+    def test_unparseable_env_var_is_a_clean_error(self, monkeypatch):
+        monkeypatch.setenv(CELL_TIMEOUT_ENV, "soon")
+        with pytest.raises(ValueError, match=CELL_TIMEOUT_ENV):
+            parallel._resolve_cell_timeout(None)
+
+
+class TestVerifyCache:
+    def populate(self, cache_dir, n=3):
+        configs = tiny_configs(n)
+        run_configs(configs, jobs=1, cache_dir=cache_dir)
+        return configs
+
+    def entry_paths(self, cache_dir):
+        return sorted(Path(cache_dir).glob("*/*.json"))
+
+    def test_healthy_cache_verifies_clean(self, tmp_path):
+        self.populate(tmp_path)
+        report = verify_cache(tmp_path)
+        assert (report.scanned, report.ok, report.bad) == (3, 3, 0)
+        assert report.quarantined == []
+
+    def test_truncated_entry_is_quarantined(self, tmp_path):
+        configs = self.populate(tmp_path)
+        victim = self.entry_paths(tmp_path)[0]
+        victim.write_text(victim.read_text()[:25])  # lost power mid-write
+        report = verify_cache(tmp_path)
+        assert report.corrupt == 1
+        assert report.ok == 2
+        assert not victim.exists()
+        quarantined = list((tmp_path / "quarantine").iterdir())
+        assert [p.name for p in quarantined] == report.quarantined
+        # The surviving entries still serve hits.
+        cache = parallel.ResultCache(tmp_path)
+        hits = [c for c in configs if cache.load(c) is not None]
+        assert len(hits) == 2
+
+    def test_fingerprint_mismatch_is_corrupt(self, tmp_path):
+        self.populate(tmp_path, n=2)
+        a, b = self.entry_paths(tmp_path)
+        # A payload copied under the wrong name can never be a valid hit.
+        b.write_text(a.read_text())
+        report = verify_cache(tmp_path)
+        assert report.corrupt == 1
+
+    def test_stale_schema_is_quarantined_separately(self, tmp_path):
+        self.populate(tmp_path)
+        victim = self.entry_paths(tmp_path)[0]
+        payload = json.loads(victim.read_text())
+        payload["schema"] = payload["schema"] - 1
+        victim.write_text(json.dumps(payload))
+        report = verify_cache(tmp_path)
+        assert (report.corrupt, report.stale) == (0, 1)
+        assert report.bad == 1
+
+    def test_no_quarantine_reports_but_leaves_files(self, tmp_path):
+        self.populate(tmp_path)
+        victim = self.entry_paths(tmp_path)[0]
+        victim.write_text("{")
+        report = verify_cache(tmp_path, quarantine=False)
+        assert report.corrupt == 1
+        assert victim.exists()
+        assert report.quarantined == []
+        assert not (tmp_path / "quarantine").exists()
+
+    def test_quarantine_dir_is_never_scanned(self, tmp_path):
+        self.populate(tmp_path)
+        self.entry_paths(tmp_path)[0].write_text("garbage")
+        first = verify_cache(tmp_path)
+        assert first.corrupt == 1
+        second = verify_cache(tmp_path)
+        assert (second.scanned, second.corrupt) == (2, 0)
+
+    def test_missing_root_is_an_empty_report(self, tmp_path):
+        report = verify_cache(tmp_path / "nope")
+        assert (report.scanned, report.bad) == (0, 0)
+
+    def test_verified_entries_match_their_fingerprints(self, tmp_path):
+        configs = self.populate(tmp_path)
+        stems = {p.stem for p in self.entry_paths(tmp_path)}
+        assert stems == {config_fingerprint(c) for c in configs}

@@ -1,0 +1,99 @@
+"""Failure RNG streams: per-(rid, attempt) determinism, draw-order
+independence, and hazard frequencies that match the configured rates.
+"""
+
+import pytest
+
+from repro.failures import AttemptFault, FailureRng, FailureSpec
+
+
+KILLY = FailureSpec(container_kill_rate=0.5)
+SLOW = FailureSpec(straggler_prob=0.5, straggler_factor=3.0)
+BOTH = FailureSpec(container_kill_rate=0.3, straggler_prob=0.3, straggler_factor=2.0)
+
+
+class TestAttemptFault:
+    def test_scale_applies_straggler_then_kill_fraction(self):
+        fault = AttemptFault(straggler=3.0, kill_fraction=0.5)
+        assert fault.scale(10.0) == pytest.approx(15.0)
+        assert fault.kills
+
+    def test_plain_straggler_does_not_kill(self):
+        fault = AttemptFault(straggler=4.0)
+        assert not fault.kills
+        assert fault.scale(2.0) == pytest.approx(8.0)
+
+
+class TestDeterminism:
+    def test_pure_function_of_seed_rid_attempt(self):
+        # Fresh FailureRng instances — and repeated queries on one
+        # instance — agree draw for draw.
+        for rid in range(50):
+            for attempt in (1, 2, 3):
+                first = FailureRng(7).attempt_fault(BOTH, rid, attempt)
+                second = FailureRng(7).attempt_fault(BOTH, rid, attempt)
+                assert first == second
+
+    def test_query_order_is_irrelevant(self):
+        # Interleaved retries (the parallel engine's reality) cannot
+        # reshuffle another call's faults: each (rid, attempt) pair owns
+        # a derived generator.
+        rng = FailureRng(11)
+        forward = [rng.attempt_fault(BOTH, rid, 1) for rid in range(20)]
+        backward = [
+            FailureRng(11).attempt_fault(BOTH, rid, 1) for rid in reversed(range(20))
+        ]
+        assert forward == list(reversed(backward))
+
+    def test_seeds_decorrelate(self):
+        a = [FailureRng(1).attempt_fault(KILLY, rid, 1) for rid in range(100)]
+        b = [FailureRng(2).attempt_fault(KILLY, rid, 1) for rid in range(100)]
+        assert a != b
+
+    def test_attempts_decorrelate(self):
+        rng = FailureRng(5)
+        first = [rng.attempt_fault(KILLY, rid, 1) for rid in range(100)]
+        second = [rng.attempt_fault(KILLY, rid, 2) for rid in range(100)]
+        assert first != second
+
+
+class TestHazards:
+    def test_no_attempt_hazards_means_no_fault(self):
+        rng = FailureRng(3)
+        quiet = FailureSpec(timeout_s=5.0, node_crash_rate=0.1)  # no attempt hazards
+        assert all(rng.attempt_fault(quiet, rid, 1) is None for rid in range(50))
+
+    def test_kill_rate_matches_frequency(self):
+        rng = FailureRng(13)
+        faults = [rng.attempt_fault(KILLY, rid, 1) for rid in range(400)]
+        kills = [f for f in faults if f is not None and f.kills]
+        assert 0.4 < len(kills) / 400 < 0.6
+        assert all(0.0 <= f.kill_fraction < 1.0 for f in kills)
+
+    def test_straggler_carries_the_configured_factor(self):
+        rng = FailureRng(17)
+        faults = [rng.attempt_fault(SLOW, rid, 1) for rid in range(400)]
+        stragglers = [f for f in faults if f is not None]
+        assert 0.4 < len(stragglers) / 400 < 0.6
+        assert all(f.straggler == 3.0 and not f.kills for f in stragglers)
+
+
+class TestNodeStreams:
+    def test_per_ordinal_streams_are_reproducible(self):
+        a = FailureRng(9).node_stream(2).random(8).tolist()
+        b = FailureRng(9).node_stream(2).random(8).tolist()
+        assert a == b
+
+    def test_ordinals_decorrelate(self):
+        a = FailureRng(9).node_stream(0).random(8).tolist()
+        b = FailureRng(9).node_stream(1).random(8).tolist()
+        assert a != b
+
+    def test_node_streams_independent_of_attempt_streams(self):
+        # Drawing node schedules never shifts attempt faults (distinct
+        # spawn keys, not a shared sequential stream).
+        rng = FailureRng(21)
+        before = [rng.attempt_fault(KILLY, rid, 1) for rid in range(30)]
+        rng.node_stream(0).random(1000)
+        after = [rng.attempt_fault(KILLY, rid, 1) for rid in range(30)]
+        assert before == after

@@ -1,0 +1,177 @@
+"""FailureSpec: validation, canonicalization, hashing, JSON round-trips,
+and its integration with ExperimentConfig labels and cache fingerprints.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import config_fingerprint, config_from_dict, config_to_dict
+from repro.failures import FAILURE_NONE, FailureSpec
+
+
+class TestDefaults:
+    def test_default_is_the_failure_free_regime(self):
+        assert FailureSpec() == FAILURE_NONE
+        assert FailureSpec().is_none
+        assert FailureSpec.none() is FAILURE_NONE
+
+    def test_default_has_no_active_hazards(self):
+        assert not FAILURE_NONE.has_node_crashes
+        assert not FAILURE_NONE.has_attempt_faults
+
+    def test_any_active_hazard_clears_is_none(self):
+        assert not FailureSpec(node_crash_rate=0.01).is_none
+        assert not FailureSpec(container_kill_rate=0.1).is_none
+        assert not FailureSpec(straggler_prob=0.1).is_none
+        assert not FailureSpec(timeout_s=5.0).is_none
+
+    def test_hazard_predicates(self):
+        assert FailureSpec(node_crash_rate=0.01).has_node_crashes
+        assert FailureSpec(container_kill_rate=0.1).has_attempt_faults
+        assert FailureSpec(straggler_prob=0.1).has_attempt_faults
+        assert not FailureSpec(timeout_s=5.0).has_attempt_faults
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"node_crash_rate": -0.1},
+            {"node_recovery_s": -1.0},
+            {"timeout_s": -2.0},
+            {"backoff_base_s": -0.5},
+            {"container_kill_rate": 1.5},
+            {"straggler_prob": -0.2},
+            {"straggler_factor": 0.5},
+            {"backoff_factor": 0.9},
+            {"max_attempts": 0},
+            {"max_attempts": 1.5},
+            {"crash_inflight": "shrug"},
+            {"timeout_s": "soon"},
+            {"node_crash_rate": True},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FailureSpec(**kwargs)
+
+    def test_numeric_spellings_canonicalize(self):
+        # int vs float spellings hash and fingerprint identically.
+        a = FailureSpec(timeout_s=2, max_attempts=2.0)
+        b = FailureSpec(timeout_s=2.0, max_attempts=2)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert isinstance(a.timeout_s, float)
+        assert isinstance(a.max_attempts, int)
+
+    def test_hashable(self):
+        regimes = {FailureSpec(): "clean", FailureSpec(timeout_s=1.0): "flaky"}
+        assert regimes[FAILURE_NONE] == "clean"
+
+
+class TestFromParams:
+    def test_empty_params_yield_the_shared_none(self):
+        assert FailureSpec.from_params(()) is FAILURE_NONE
+        assert FailureSpec.from_params(None) is FAILURE_NONE
+        assert FailureSpec.from_params({}) is FAILURE_NONE
+
+    def test_pairs_and_mappings_accepted(self):
+        from_pairs = FailureSpec.from_params((("timeout_s", 2.0), ("max_attempts", 2)))
+        from_map = FailureSpec.from_params({"timeout_s": 2.0, "max_attempts": 2})
+        assert from_pairs == from_map == FailureSpec(timeout_s=2.0, max_attempts=2)
+
+    def test_unknown_names_rejected_with_the_valid_list(self):
+        with pytest.raises(ValueError, match="unknown failure parameter"):
+            FailureSpec.from_params({"node_crashrate": 0.1})
+        with pytest.raises(ValueError, match="node_crash_rate"):
+            FailureSpec.from_params({"bogus": 1})
+
+    def test_with_returns_an_updated_copy(self):
+        spec = FailureSpec(timeout_s=2.0)
+        updated = spec.with_(max_attempts=5)
+        assert updated.timeout_s == 2.0
+        assert updated.max_attempts == 5
+        assert spec.max_attempts == 3  # original untouched
+
+
+class TestJsonForm:
+    def test_round_trip(self):
+        spec = FailureSpec(
+            node_crash_rate=0.01,
+            crash_inflight="migrate",
+            straggler_prob=0.2,
+            timeout_s=4.0,
+            max_attempts=2,
+        )
+        payload = json.loads(json.dumps(spec.to_dict()))
+        assert FailureSpec.from_dict(payload) == spec
+
+    def test_to_dict_covers_every_field(self):
+        # The fingerprint hashes this dict: a new field must appear here
+        # (and thereby invalidate cached results that predate it).
+        import dataclasses
+
+        assert set(FAILURE_NONE.to_dict()) == {
+            f.name for f in dataclasses.fields(FailureSpec)
+        }
+
+    def test_from_dict_revalidates(self):
+        with pytest.raises(ValueError):
+            FailureSpec.from_dict({"container_kill_rate": 2.0})
+
+
+class TestLabel:
+    def test_none_has_empty_suffix(self):
+        assert FAILURE_NONE.label_suffix() == ""
+
+    def test_suffix_names_only_non_default_fields(self):
+        suffix = FailureSpec(timeout_s=2.0, straggler_prob=0.1).label_suffix()
+        assert "timeout_s=2.0" in suffix
+        assert "straggler_prob=0.1" in suffix
+        assert "backoff" not in suffix
+        assert suffix.startswith(" failures[")
+
+
+class TestExperimentConfigIntegration:
+    def test_mapping_normalizes_to_spec(self):
+        cfg = ExperimentConfig(
+            cores=4, intensity=10, policy="FIFO", failures={"timeout_s": 3.0}
+        )
+        assert isinstance(cfg.failures, FailureSpec)
+        assert cfg.failures.timeout_s == 3.0
+
+    def test_none_normalizes_to_the_default(self):
+        cfg = ExperimentConfig(cores=4, intensity=10, policy="FIFO", failures=None)
+        assert cfg.failures is FAILURE_NONE
+
+    def test_non_spec_rejected(self):
+        with pytest.raises(ValueError, match="failures"):
+            ExperimentConfig(cores=4, intensity=10, policy="FIFO", failures="chaos")
+
+    def test_label_carries_the_failure_suffix(self):
+        clean = ExperimentConfig(cores=4, intensity=10, policy="FIFO")
+        faulty = clean.with_(failures=FailureSpec(node_crash_rate=0.01))
+        assert "failures[" not in clean.label()
+        assert "failures[node_crash_rate=0.01]" in faulty.label()
+
+    def test_fingerprint_sees_the_failure_dimension(self):
+        clean = ExperimentConfig(cores=4, intensity=10, policy="FIFO")
+        faulty = clean.with_(failures=FailureSpec(timeout_s=1.0))
+        assert config_fingerprint(clean) != config_fingerprint(faulty)
+        # ...but the explicit default fingerprints like the implicit one.
+        assert config_fingerprint(clean) == config_fingerprint(
+            clean.with_(failures=FailureSpec.none())
+        )
+
+    def test_config_dict_round_trip_preserves_failures(self):
+        cfg = ExperimentConfig(
+            cores=4,
+            intensity=10,
+            policy="FIFO",
+            failures=FailureSpec(container_kill_rate=0.2, max_attempts=2),
+        )
+        restored = config_from_dict(json.loads(json.dumps(config_to_dict(cfg))))
+        assert restored == cfg
+        assert restored.failures == cfg.failures

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Fail when docs/FAILURES.md is out of sync with FailureSpec.
+
+Checks, in both directions:
+
+* every field of ``repro.failures.FailureSpec`` has a ``## `name` ...``
+  catalog heading in docs/FAILURES.md;
+* every documented field heading names a real ``FailureSpec`` field
+  (no stale catalog entries).
+
+Run from the repository root (CI's docs job does)::
+
+    python tools/check_failures_docs.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS = REPO_ROOT / "docs" / "FAILURES.md"
+
+#: Catalog entries look like: ## `name` — description
+HEADING = re.compile(r"^##\s+`(?P<name>[^`]+)`", re.MULTILINE)
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.failures import FailureSpec
+
+    registered = {field.name for field in dataclasses.fields(FailureSpec)}
+    if not DOCS.exists():
+        print(f"error: {DOCS} does not exist", file=sys.stderr)
+        return 1
+    documented = set(HEADING.findall(DOCS.read_text(encoding="utf-8")))
+
+    undocumented = sorted(registered - documented)
+    stale = sorted(documented - registered)
+    if undocumented:
+        print(
+            "error: FailureSpec field(s) missing from docs/FAILURES.md: "
+            + ", ".join(undocumented),
+            file=sys.stderr,
+        )
+    if stale:
+        print(
+            "error: docs/FAILURES.md documents unknown field(s): "
+            + ", ".join(stale),
+            file=sys.stderr,
+        )
+    if undocumented or stale:
+        return 1
+    print(f"docs/FAILURES.md covers all {len(registered)} FailureSpec fields")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
