@@ -61,15 +61,24 @@ from repro.experiments.adaptive import (
     DEFAULT_DECISION_METRICS,
     allocate_seeds,
 )
+from repro.experiments.cache_tools import (
+    CacheMergeError,
+    cache_stats,
+    gc_cache,
+    merge_caches,
+)
 from repro.experiments.config import BASELINE, ExperimentConfig
+from repro.experiments.executor import executor_names
 from repro.experiments.grid import GridResults, GridSpec, run_grid
 from repro.experiments.parallel import (
+    EngineStats,
     ResultCache,
     WorkerError,
     progress_printer,
     run_configs,
     verify_cache,
 )
+from repro.experiments.queue import run_worker
 from repro.experiments.registry import EXPERIMENTS, run_registered
 from repro.experiments.runner import run_experiment
 from repro.experiments.artifacts import table3_from_grid
@@ -123,6 +132,19 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
             "wall-clock budget per grid cell in seconds (--jobs > 1 only); "
             "cells over budget are cancelled and reported while the rest "
             "of the sweep completes; default: $REPRO_CELL_TIMEOUT or none"
+        ),
+    )
+    parser.add_argument(
+        "--executor",
+        default=None,
+        choices=executor_names(),
+        metavar="NAME",
+        help=(
+            "execution backend: 'local' runs cells in this process "
+            "(--jobs > 1: a process pool); 'queue' distributes them over "
+            "the shared --cache-dir so any number of 'faas-sched worker' "
+            "processes — on any host sharing the directory — can help "
+            "(see docs/DISTRIBUTED.md); default: $REPRO_EXECUTOR or local"
         ),
     )
 
@@ -507,6 +529,117 @@ def build_parser() -> argparse.ArgumentParser:
         "exits 0 when every entry is loadable and current, 1 when any "
         "corrupt or stale entry was found"
     )
+    cache_stats_cmd = cache_sub.add_parser(
+        "stats",
+        help=(
+            "inventory a cache root: entries, bytes, health, age range, "
+            "per-shard breakdown, queue depth and active claims"
+        ),
+    )
+    cache_stats_cmd.add_argument(
+        "--cache-dir",
+        required=True,
+        metavar="DIR",
+        help="cache root to inspect",
+    )
+    cache_gc = cache_sub.add_parser(
+        "gc",
+        help=(
+            "evict cache entries: corrupt/version-stale first, then "
+            "entries over --max-age, then oldest-first down to --size-budget"
+        ),
+    )
+    cache_gc.add_argument(
+        "--cache-dir",
+        required=True,
+        metavar="DIR",
+        help="cache root to collect",
+    )
+    cache_gc.add_argument(
+        "--max-age",
+        type=float,
+        default=None,
+        metavar="S",
+        help="evict entries written more than S seconds ago",
+    )
+    cache_gc.add_argument(
+        "--size-budget",
+        default=None,
+        metavar="BYTES",
+        help=(
+            "evict oldest entries until the root fits this many bytes "
+            "(suffixes KiB/MiB/GiB accepted, e.g. 512MiB)"
+        ),
+    )
+    cache_gc.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be evicted without deleting anything",
+    )
+    cache_merge = cache_sub.add_parser(
+        "merge",
+        help=(
+            "union SRC's entries into DST by fingerprint; colliding "
+            "entries must be byte-identical (the merge aborts otherwise)"
+        ),
+    )
+    cache_merge.add_argument("src", metavar="SRC", help="cache root to merge from")
+    cache_merge.add_argument("dst", metavar="DST", help="cache root to merge into")
+
+    worker = sub.add_parser(
+        "worker",
+        help=(
+            "claim and compute queued grid cells from a shared cache root "
+            "(start any number, on any host sharing the directory; see "
+            "docs/DISTRIBUTED.md)"
+        ),
+    )
+    worker.add_argument(
+        "--cache-dir",
+        required=True,
+        metavar="DIR",
+        help="shared cache root holding the work queue",
+    )
+    worker.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help=(
+            "keep polling for new work this many seconds after the queue "
+            "drains; default: exit once the queue looks empty"
+        ),
+    )
+    worker.add_argument(
+        "--poll",
+        type=float,
+        default=0.2,
+        metavar="S",
+        help="queue poll interval in seconds (default: 0.2)",
+    )
+    worker.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        metavar="S",
+        help=(
+            "claim lease TTL in seconds; a lease not heartbeaten for this "
+            "long is considered dead and stolen by another worker "
+            "(default: $REPRO_LEASE_TTL or 60)"
+        ),
+    )
+    worker.add_argument(
+        "--max-cells",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after computing N cells (default: unlimited)",
+    )
+    worker.add_argument(
+        "--no-progress",
+        action="store_true",
+        help="suppress per-cell progress lines on stderr",
+    )
 
     sim = sub.add_parser("simulate", help="run one ad-hoc single-node experiment")
     sim.add_argument("--cores", type=int, default=10)
@@ -653,6 +786,113 @@ def _render_annotated_grid(grid: GridResults, args: argparse.Namespace) -> str:
     return "\n\n".join(blocks)
 
 
+#: Binary size suffixes accepted by ``cache gc --size-budget``.
+_SIZE_SUFFIXES = {
+    "kib": 1024,
+    "kb": 1024,
+    "k": 1024,
+    "mib": 1024**2,
+    "mb": 1024**2,
+    "m": 1024**2,
+    "gib": 1024**3,
+    "gb": 1024**3,
+    "g": 1024**3,
+    "b": 1,
+}
+
+
+def _parse_size(raw: str, flag: str = "--size-budget") -> int:
+    """``"512MiB"`` / ``"1048576"`` → bytes."""
+    text = raw.strip().lower()
+    for suffix in sorted(_SIZE_SUFFIXES, key=len, reverse=True):
+        if text.endswith(suffix):
+            number = text[: -len(suffix)].strip()
+            break
+    else:
+        suffix, number = "b", text
+    try:
+        value = float(number)
+    except ValueError:
+        raise SystemExit(
+            f"error: {flag} expects bytes with an optional KiB/MiB/GiB "
+            f"suffix, got {raw!r}"
+        ) from None
+    return int(value * _SIZE_SUFFIXES[suffix])
+
+
+def _run_cache(args: argparse.Namespace) -> int:
+    """The ``faas-sched cache`` verbs: verify / stats / gc / merge."""
+    try:
+        if args.cache_command == "verify":
+            verification = verify_cache(
+                args.cache_dir, quarantine=not args.no_quarantine
+            )
+            print(
+                f"scanned: {verification.scanned}  ok: {verification.ok}  "
+                f"corrupt: {verification.corrupt}  stale: {verification.stale}  "
+                f"quarantined: {len(verification.quarantined)}"
+            )
+            for name in verification.quarantined:
+                print(f"  {name}")
+            if verification.bad and args.no_quarantine:
+                print(
+                    "(bad entries left in place; rerun without --no-quarantine "
+                    "to move them aside)"
+                )
+            return 1 if verification.bad else 0
+        if args.cache_command == "stats":
+            print(cache_stats(args.cache_dir).render())
+            return 0
+        if args.cache_command == "gc":
+            budget = (
+                _parse_size(args.size_budget)
+                if args.size_budget is not None
+                else None
+            )
+            report = gc_cache(
+                args.cache_dir,
+                max_age=args.max_age,
+                size_budget=budget,
+                dry_run=args.dry_run,
+            )
+            print(report.render())
+            return 0
+        if args.cache_command == "merge":
+            print(merge_caches(args.src, args.dst).render())
+            return 0
+    except (CacheMergeError, FileNotFoundError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 1  # pragma: no cover - argparse enforces subcommands
+
+
+def _run_worker(args: argparse.Namespace) -> int:
+    """The ``faas-sched worker`` verb: drain a shared work queue."""
+
+    def progress(fingerprint: str, label: str) -> None:
+        print(f"worker: computing {label} [{fingerprint[:12]}]", file=sys.stderr)
+
+    try:
+        summary = run_worker(
+            args.cache_dir,
+            poll=args.poll,
+            idle_timeout=args.idle_timeout,
+            lease_ttl=args.lease_ttl,
+            max_cells=args.max_cells,
+            progress=None if args.no_progress else progress,
+        )
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        # An interrupted worker is normal operations: its lease goes
+        # stale and another worker steals the cell.
+        print("worker: interrupted; in-flight lease will expire", file=sys.stderr)
+        return 130
+    print(summary.summary_line())
+    return 0
+
+
 def _run_compare(args: argparse.Namespace) -> int:
     """The ``faas-sched compare A B`` verb."""
     if args.policy_a == args.policy_b:
@@ -727,6 +967,7 @@ def _run_compare(args: argparse.Namespace) -> int:
                 ci_method=args.ci_method,
                 jobs=args.jobs,
                 cache_dir=args.cache_dir,
+                executor=args.executor,
             )
             print(allocation.comparison.render())
             print()
@@ -736,12 +977,15 @@ def _run_compare(args: argparse.Namespace) -> int:
         configs = [config_for(args.policy_a).with_(seed=s) for s in seeds] + [
             config_for(args.policy_b).with_(seed=s) for s in seeds
         ]
+        engine_stats = EngineStats()
         results = run_configs(
             configs,
             jobs=args.jobs,
             cache_dir=args.cache_dir,
             progress=None if args.no_progress else progress_printer(),
             cell_timeout=args.cell_timeout,
+            executor=args.executor,
+            stats=engine_stats,
         )
     except (ValueError, OSError, WorkerError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -756,6 +1000,7 @@ def _run_compare(args: argparse.Namespace) -> int:
         ci_method=args.ci_method,
     )
     print(comparison.render())
+    print(f"\n{engine_stats.summary_line()}")
     return 0
 
 
@@ -777,26 +1022,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     if args.command == "cache":
-        try:
-            verification = verify_cache(
-                args.cache_dir, quarantine=not args.no_quarantine
-            )
-        except OSError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
-        print(
-            f"scanned: {verification.scanned}  ok: {verification.ok}  "
-            f"corrupt: {verification.corrupt}  stale: {verification.stale}  "
-            f"quarantined: {len(verification.quarantined)}"
-        )
-        for name in verification.quarantined:
-            print(f"  {name}")
-        if verification.bad and args.no_quarantine:
-            print(
-                "(bad entries left in place; rerun without --no-quarantine "
-                "to move them aside)"
-            )
-        return 1 if verification.bad else 0
+        return _run_cache(args)
+
+    if args.command == "worker":
+        return _run_worker(args)
 
     if getattr(args, "scenario", None) is not None:
         # Validate scenario parameters up front for a clean CLI error
@@ -818,16 +1047,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         return 2
 
-    if args.command in ("run", "grid", "compare") and args.cache_dir is not None:
-        # Probe the cache root now: a bad --cache-dir should fail before
-        # any experiment time is spent, not at the first store().
-        try:
-            ResultCache(args.cache_dir)
-        except OSError as exc:
-            print(f"error: cache directory unusable: {exc}", file=sys.stderr)
+    if args.command in ("run", "grid", "compare"):
+        if args.executor == "queue" and args.cache_dir is None:
+            # QueueExecutor would reject this too, but after the sweep's
+            # configs are built; fail at argument time instead.
+            print(
+                "error: --executor queue needs --cache-dir (the shared "
+                "cache root is the work queue)",
+                file=sys.stderr,
+            )
             return 2
+        if args.cache_dir is not None:
+            # Probe the cache root now: a bad --cache-dir should fail
+            # before any experiment time is spent, not at the first
+            # store().
+            try:
+                ResultCache(args.cache_dir)
+            except OSError as exc:
+                print(f"error: cache directory unusable: {exc}", file=sys.stderr)
+                return 2
 
     if args.command == "run":
+        engine_stats = EngineStats()
         try:
             # run_registered rejects a --scenario override for artifacts
             # with fixed workloads and a cluster override for fixed
@@ -849,6 +1090,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 policy_params=_parse_policy_params(args.policy_param),
                 failure_params=_parse_failure_params(args.failure_param),
                 cell_timeout=args.cell_timeout,
+                executor=args.executor,
+                stats=engine_stats,
             )
         except (ValueError, OSError, WorkerError) as exc:
             # With --jobs > 1 the same failures surface as WorkerError;
@@ -857,6 +1100,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         print(report)
+        if engine_stats.total:
+            # Fixed-protocol artifacts (table1, fig2, ...) bypass the
+            # engine; only engine-run sweeps have counters to report.
+            print(f"\n{engine_stats.summary_line()}")
         return 0
 
     if args.command == "compare":
@@ -883,6 +1130,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 cache_dir=args.cache_dir,
                 progress=None if args.no_progress else progress_printer(),
                 cell_timeout=args.cell_timeout,
+                executor=args.executor,
             )
         except (ValueError, OSError, WorkerError) as exc:
             # e.g. an empty stochastic scenario, an unreadable replay
@@ -925,11 +1173,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
         stats = grid.stats
         if stats is not None:
-            print(
-                f"\nengine: {stats.total} runs "
-                f"({stats.computed} computed, {stats.cached} from cache, "
-                f"jobs={stats.jobs})"
-            )
+            print(f"\n{stats.summary_line()}")
         return 0
 
     if args.command == "simulate":

@@ -68,11 +68,13 @@ class _RunStore:
         *,
         jobs: int = 1,
         cache_dir: Optional[Union[str, Path]] = None,
+        executor: Optional[str] = None,
     ) -> None:
         self.base = base
         self.seed_sequence = seed_sequence
         self.jobs = jobs
         self.cache_dir = cache_dir
+        self.executor = executor
         self.results: List[ExperimentResult] = []
         #: Simulations actually launched through this store (cache hits
         #: included: they still occupy budget in the fixed-seed protocol).
@@ -91,6 +93,7 @@ class _RunStore:
                     [self.base.with_(seed=seed) for seed in missing],
                     jobs=self.jobs,
                     cache_dir=self.cache_dir,
+                    executor=self.executor,
                 )
             )
             self.runs += len(missing)
@@ -227,6 +230,7 @@ def allocate_seeds(
     ci_method: str = "bca",
     jobs: int = 1,
     cache_dir: Optional[Union[str, Path]] = None,
+    executor: Optional[str] = None,
 ) -> AdaptiveAllocation:
     """Run repetitions of two configs in batches until they separate.
 
@@ -244,8 +248,8 @@ def allocate_seeds(
     """
     _validate_budget(initial_seeds, max_seeds, batch)
     sequence = _resolve_seed_sequence(seeds, max_seeds)
-    store_a = _RunStore(config_a, sequence, jobs=jobs, cache_dir=cache_dir)
-    store_b = _RunStore(config_b, sequence, jobs=jobs, cache_dir=cache_dir)
+    store_a = _RunStore(config_a, sequence, jobs=jobs, cache_dir=cache_dir, executor=executor)
+    store_b = _RunStore(config_b, sequence, jobs=jobs, cache_dir=cache_dir, executor=executor)
     return _adaptive_pair(
         store_a,
         store_b,
@@ -333,6 +337,7 @@ def run_adaptive_grid(
     ci_method: str = "bca",
     jobs: int = 1,
     cache_dir: Optional[Union[str, Path]] = None,
+    executor: Optional[str] = None,
 ) -> AdaptiveGridResult:
     """Adaptively seed every strategy pair of a grid.
 
@@ -377,6 +382,7 @@ def run_adaptive_grid(
                 sequence,
                 jobs=jobs,
                 cache_dir=cache_dir,
+                executor=executor,
             )
         return stores[key]
 

@@ -1,0 +1,358 @@
+"""Lifecycle tooling for the content-addressed result cache.
+
+A long-lived shared cache root (the distributed executor's coordination
+medium — see :mod:`repro.experiments.queue`) accumulates three kinds of
+weight: entries from old schema/package versions that can never be hits
+again (fingerprints cover both versions), entries nobody has read in
+months, and sheer volume.  This module provides the three verbs the CLI
+exposes under ``faas-sched cache``:
+
+``stats``
+    Inventory: entry counts by health, byte totals, entry-age range, a
+    per-shard breakdown, plus the sidecar state (queue depth, active
+    claims, quarantined files).
+
+``gc``
+    Eviction, in strictly this order: corrupt and version-stale entries
+    first (they are dead weight by construction), then entries older
+    than ``--max-age``, then oldest-first until the root fits
+    ``--size-budget``.  Healthy, in-budget entries are never touched;
+    ``--dry-run`` reports what would go.
+
+``merge SRC DST``
+    Fingerprint-keyed union of two cache roots: entries missing from
+    ``DST`` are copied atomically; entries present in both must be
+    byte-identical (content addressing guarantees this for honest
+    caches — a mismatch means corruption or a fingerprint collision and
+    aborts the merge with :class:`CacheMergeError` before any copy).
+
+All three verbs walk only the two-level hex fan-out and therefore never
+touch the ``queue/``, ``claims/``, or ``quarantine/`` sidecars except to
+*report* them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.experiments.parallel import QUARANTINE_DIR, _classify_entry
+from repro.experiments.queue import CLAIMS_DIR, QUEUE_DIR
+
+__all__ = [
+    "CacheEntry",
+    "CacheMergeError",
+    "CacheStatsReport",
+    "GcReport",
+    "MergeReport",
+    "cache_stats",
+    "gc_cache",
+    "merge_caches",
+]
+
+
+def _human_bytes(count: int) -> str:
+    size = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024.0 or unit == "GiB":
+            return f"{size:.1f} {unit}" if unit != "B" else f"{int(size)} B"
+        size /= 1024.0
+    return f"{int(count)} B"  # pragma: no cover - unreachable
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One scanned cache entry."""
+
+    fingerprint: str
+    path: Path
+    bytes: int
+    mtime: float
+    #: ``"current"``, ``"stale"`` (other schema/package version), or
+    #: ``"corrupt"`` (unreadable / payload-invalid).
+    status: str
+
+
+def _scan_entries(root: Path) -> List[CacheEntry]:
+    """Every entry of the two-level fan-out, classified, sorted by
+    fingerprint (stable output across runs)."""
+    entries: List[CacheEntry] = []
+    if not root.is_dir():
+        return entries
+    shards = [
+        shard
+        for shard in sorted(root.iterdir())
+        if shard.is_dir() and len(shard.name) == 2
+        and all(c in "0123456789abcdef" for c in shard.name)
+    ]
+    for shard in shards:
+        for path in sorted(shard.glob("*.json")):
+            try:
+                stat = path.stat()
+            except OSError:  # raced with a concurrent gc
+                continue
+            verdict = _classify_entry(path)
+            entries.append(
+                CacheEntry(
+                    fingerprint=path.stem,
+                    path=path,
+                    bytes=stat.st_size,
+                    mtime=stat.st_mtime,
+                    status=verdict if verdict is not None else "current",
+                )
+            )
+    return entries
+
+
+def _sidecar_counts(root: Path) -> Tuple[int, int, int]:
+    """(queue depth, active claims, quarantined files) under ``root``."""
+
+    def count(directory: Path, pattern: str) -> int:
+        return sum(1 for _ in directory.glob(pattern)) if directory.is_dir() else 0
+
+    return (
+        count(root / QUEUE_DIR, "*.json"),
+        count(root / CLAIMS_DIR, "*.lease"),
+        count(root / QUARANTINE_DIR, "*"),
+    )
+
+
+# ----------------------------------------------------------------------
+# stats
+# ----------------------------------------------------------------------
+@dataclass
+class CacheStatsReport:
+    """Inventory of one cache root (``faas-sched cache stats``)."""
+
+    root: Path
+    entries: int = 0
+    total_bytes: int = 0
+    current: int = 0
+    stale: int = 0
+    corrupt: int = 0
+    #: Seconds since the oldest / newest entry was written.
+    oldest_age: Optional[float] = None
+    newest_age: Optional[float] = None
+    #: shard name -> (entry count, bytes).
+    shards: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    queue_depth: int = 0
+    active_claims: int = 0
+    quarantined: int = 0
+
+    def render(self) -> str:
+        lines = [
+            f"cache: {self.entries} entries, {_human_bytes(self.total_bytes)} "
+            f"under {self.root}",
+            f"  health: {self.current} current, {self.stale} stale, "
+            f"{self.corrupt} corrupt",
+        ]
+        if self.oldest_age is not None and self.newest_age is not None:
+            lines.append(
+                f"  ages: oldest {self.oldest_age:.0f}s, "
+                f"newest {self.newest_age:.0f}s"
+            )
+        lines.append(
+            f"  sidecars: {self.queue_depth} queued, {self.active_claims} "
+            f"claimed, {self.quarantined} quarantined"
+        )
+        for shard in sorted(self.shards):
+            count, size = self.shards[shard]
+            lines.append(f"  shard {shard}: {count} entries, {_human_bytes(size)}")
+        return "\n".join(lines)
+
+
+def cache_stats(root: Union[str, Path]) -> CacheStatsReport:
+    """Scan ``root`` and report what the cache holds (read-only)."""
+    root = Path(root).expanduser()
+    report = CacheStatsReport(root=root)
+    now = time.time()
+    for entry in _scan_entries(root):
+        report.entries += 1
+        report.total_bytes += entry.bytes
+        if entry.status == "current":
+            report.current += 1
+        elif entry.status == "stale":
+            report.stale += 1
+        else:
+            report.corrupt += 1
+        age = max(0.0, now - entry.mtime)
+        if report.oldest_age is None or age > report.oldest_age:
+            report.oldest_age = age
+        if report.newest_age is None or age < report.newest_age:
+            report.newest_age = age
+        shard = entry.fingerprint[:2]
+        count, size = report.shards.get(shard, (0, 0))
+        report.shards[shard] = (count + 1, size + entry.bytes)
+    report.queue_depth, report.active_claims, report.quarantined = _sidecar_counts(root)
+    return report
+
+
+# ----------------------------------------------------------------------
+# gc
+# ----------------------------------------------------------------------
+@dataclass
+class GcReport:
+    """What one ``faas-sched cache gc`` pass did (or would do)."""
+
+    root: Path
+    examined: int = 0
+    kept: int = 0
+    evicted: int = 0
+    freed_bytes: int = 0
+    dry_run: bool = False
+    #: ``fingerprint -> reason`` (``"stale"``, ``"corrupt"``, ``"age"``,
+    #: ``"budget"``), in eviction order.
+    reasons: Dict[str, str] = field(default_factory=dict)
+
+    def render(self) -> str:
+        verb = "would evict" if self.dry_run else "evicted"
+        line = (
+            f"gc: {verb} {self.evicted} of {self.examined} entries "
+            f"(freed {_human_bytes(self.freed_bytes)}), {self.kept} kept"
+        )
+        by_reason: Dict[str, int] = {}
+        for reason in self.reasons.values():
+            by_reason[reason] = by_reason.get(reason, 0) + 1
+        if by_reason:
+            detail = ", ".join(
+                f"{count} {reason}" for reason, count in sorted(by_reason.items())
+            )
+            line += f" [{detail}]"
+        return line
+
+
+def gc_cache(
+    root: Union[str, Path],
+    *,
+    max_age: Optional[float] = None,
+    size_budget: Optional[int] = None,
+    dry_run: bool = False,
+) -> GcReport:
+    """Evict cache entries by health, age, and size budget.
+
+    Eviction order: corrupt and version-stale entries always go first
+    (the schema version is part of every fingerprint, so they can never
+    be served again); then entries whose mtime is older than ``max_age``
+    seconds; then — while the surviving total still exceeds
+    ``size_budget`` bytes — the oldest remaining entries.  With neither
+    limit given, only the dead weight is collected.  ``dry_run`` reports
+    without deleting.
+    """
+    if max_age is not None and max_age < 0:
+        raise ValueError(f"max_age must be non-negative, got {max_age}")
+    if size_budget is not None and size_budget < 0:
+        raise ValueError(f"size_budget must be non-negative, got {size_budget}")
+    root = Path(root).expanduser()
+    entries = _scan_entries(root)
+    now = time.time()
+    report = GcReport(root=root, examined=len(entries), dry_run=dry_run)
+    doomed: List[Tuple[CacheEntry, str]] = []
+    survivors: List[CacheEntry] = []
+    for entry in entries:
+        if entry.status != "current":
+            doomed.append((entry, entry.status))
+        elif max_age is not None and now - entry.mtime > max_age:
+            doomed.append((entry, "age"))
+        else:
+            survivors.append(entry)
+    if size_budget is not None:
+        remaining = sum(entry.bytes for entry in survivors)
+        survivors.sort(key=lambda entry: entry.mtime)  # oldest first
+        while survivors and remaining > size_budget:
+            entry = survivors.pop(0)
+            remaining -= entry.bytes
+            doomed.append((entry, "budget"))
+    for entry, reason in doomed:
+        report.evicted += 1
+        report.freed_bytes += entry.bytes
+        report.reasons[entry.fingerprint] = reason
+        if not dry_run:
+            try:
+                os.unlink(entry.path)
+            except OSError:  # raced with concurrent gc
+                pass
+    report.kept = report.examined - report.evicted
+    return report
+
+
+# ----------------------------------------------------------------------
+# merge
+# ----------------------------------------------------------------------
+class CacheMergeError(RuntimeError):
+    """Two caches disagree about a fingerprint's bytes.
+
+    Content addressing makes honest caches agree byte-for-byte, so a
+    colliding entry with different bytes means corruption (or a SHA-256
+    collision); the merge aborts before copying anything.
+    """
+
+    def __init__(self, fingerprint: str, src: Path, dst: Path) -> None:
+        super().__init__(
+            f"cache merge conflict: entry {fingerprint} exists in both "
+            f"{src} and {dst} with different bytes — verify both caches "
+            f"(faas-sched cache verify) and retry"
+        )
+        self.fingerprint = fingerprint
+
+
+@dataclass
+class MergeReport:
+    """What ``faas-sched cache merge SRC DST`` did."""
+
+    src: Path
+    dst: Path
+    copied: int = 0
+    #: Present in both roots, byte-identical (content addressing at work).
+    identical: int = 0
+    copied_bytes: int = 0
+
+    def render(self) -> str:
+        return (
+            f"merge: {self.copied} copied "
+            f"({_human_bytes(self.copied_bytes)}), "
+            f"{self.identical} already present (byte-identical) "
+            f"from {self.src} into {self.dst}"
+        )
+
+
+def merge_caches(src: Union[str, Path], dst: Union[str, Path]) -> MergeReport:
+    """Union ``src`` into ``dst`` by fingerprint, verifying collisions.
+
+    Scans ``src`` first: every fingerprint present in both roots is
+    byte-compared *before* any copy, so a conflicted merge changes
+    nothing.  Missing entries are then copied atomically (tmp +
+    ``os.replace``) into ``dst``'s fan-out — safe to run against a live
+    cache that workers are writing to.  Sidecars (queue, claims,
+    quarantine) are not merged: they are per-root coordination state.
+    """
+    src = Path(src).expanduser()
+    dst = Path(dst).expanduser()
+    if not src.is_dir():
+        raise FileNotFoundError(f"merge source {src} is not a directory")
+    same = src.resolve() == dst.resolve() if dst.exists() else src == dst
+    if same:
+        raise ValueError(f"merge source and destination are the same root: {src}")
+    report = MergeReport(src=src, dst=dst)
+    to_copy: List[CacheEntry] = []
+    for entry in _scan_entries(src):
+        target = dst / entry.fingerprint[:2] / entry.path.name
+        if target.exists():
+            if entry.path.read_bytes() != target.read_bytes():
+                raise CacheMergeError(entry.fingerprint, src, dst)
+            report.identical += 1
+        else:
+            to_copy.append(entry)
+    for entry in to_copy:
+        target = dst / entry.fingerprint[:2] / entry.path.name
+        target.parent.mkdir(parents=True, exist_ok=True)
+        data = entry.path.read_bytes()
+        tmp = target.with_name(f"{target.name}.tmp-merge-{os.getpid()}")
+        tmp.write_bytes(data)
+        os.replace(tmp, target)
+        report.copied += 1
+        report.copied_bytes += len(data)
+    return report

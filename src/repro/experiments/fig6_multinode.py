@@ -27,7 +27,7 @@ import numpy as np
 from repro.cluster.spec import ClusterSpec
 from repro.experiments.config import BASELINE, ExperimentConfig
 from repro.experiments.paper_data import TABLE5
-from repro.experiments.parallel import ProgressCallback, run_configs
+from repro.experiments.parallel import EngineStats, ProgressCallback, run_configs
 from repro.metrics.records import CallRecord
 from repro.metrics.report import format_table
 
@@ -120,12 +120,16 @@ def run_fig6(
     cache_dir: Optional[Union[str, Path]] = None,
     progress: Optional[ProgressCallback] = None,
     cell_timeout: Optional[float] = None,
+    executor: Optional[str] = None,
+    stats: Optional[EngineStats] = None,
 ) -> Fig6Result:
     """Run the multi-node sweep, pooling records over seeds.
 
     ``jobs``/``cache_dir``/``progress`` route the sweep through the
     parallel engine and its on-disk cache (bit-identical to the serial
-    path, like every engine-run experiment).
+    path, like every engine-run experiment); ``executor``/``stats``
+    select the execution backend and accumulate engine counters (see
+    :mod:`repro.experiments.executor`).
     """
     total_requests = REQUESTS_FOR_CORES.get(cores_per_node, 11 * 4 * cores_per_node * 3)
     cells = [(nodes, strategy) for nodes in node_counts for strategy in strategies]
@@ -140,16 +144,18 @@ def run_fig6(
         cache_dir=cache_dir,
         progress=progress,
         cell_timeout=cell_timeout,
+        executor=executor,
+        stats=stats,
     )
 
-    stats: Dict[Tuple[int, str], Dict[str, float]] = {}
+    cell_stats: Dict[Tuple[int, str], Dict[str, float]] = {}
     per_cell = len(seeds)
     for i, (nodes, strategy) in enumerate(cells):
         pooled: List[CallRecord] = []
         for result in flat[i * per_cell : (i + 1) * per_cell]:
             pooled.extend(result.records)
         responses = np.array([r.response_time for r in pooled])
-        stats[(nodes, strategy)] = {
+        cell_stats[(nodes, strategy)] = {
             "avg": float(responses.mean()),
             "p50": float(np.percentile(responses, 50)),
             "p75": float(np.percentile(responses, 75)),
@@ -159,5 +165,5 @@ def run_fig6(
             "n": float(len(responses)),
         }
     return Fig6Result(
-        cores_per_node=cores_per_node, total_requests=total_requests, stats=stats
+        cores_per_node=cores_per_node, total_requests=total_requests, stats=cell_stats
     )

@@ -480,6 +480,8 @@ def run_grid(
     cache_dir: Optional[Union[str, Path]] = None,
     progress: Optional[ProgressCallback] = None,
     cell_timeout: Optional[float] = None,
+    executor: Optional[str] = None,
+    stats: Optional[EngineStats] = None,
 ) -> GridResults:
     """Run (cores × intensity × strategy × topology × seeds) experiments
     under the spec's workload scenario (default: the paper's uniform burst).
@@ -489,6 +491,10 @@ def run_grid(
     result cache, with results bit-identical to the serial, uncached path
     (``jobs=1``, the default).  ``progress`` receives one callback per
     finished cell (see :func:`~repro.experiments.parallel.progress_printer`).
+    ``executor`` selects the execution backend (``local``'s process pool,
+    or ``queue`` to distribute cells over the shared cache root — see
+    :mod:`repro.experiments.executor`); ``stats`` supplies a shared
+    :class:`EngineStats` to accumulate into (one is created otherwise).
     """
     spec = spec if spec is not None else GridSpec()
     variants = spec.cluster_variants()
@@ -510,7 +516,7 @@ def run_grid(
         for variant in variants
         for seed in spec.seeds
     ]
-    stats = EngineStats()
+    stats = stats if stats is not None else EngineStats()
     flat = run_configs(
         configs,
         jobs=jobs,
@@ -518,6 +524,7 @@ def run_grid(
         progress=progress,
         stats=stats,
         cell_timeout=cell_timeout,
+        executor=executor,
     )
     cells: Dict[CellKey, List[ExperimentResult]] = {}
     per_cell = len(spec.seeds)

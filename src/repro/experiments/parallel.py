@@ -361,6 +361,20 @@ class EngineStats:
     retries: int = 0
     #: Cells cancelled for exceeding the per-cell wall-clock timeout.
     timeouts: int = 0
+    #: Which execution backend ran the sweep (see experiments.executor).
+    executor: str = "local"
+    #: Wall-clock seconds spent inside :func:`run_configs`.
+    elapsed: float = 0.0
+
+    def summary_line(self) -> str:
+        """The one-line human engine summary printed after every sweep."""
+        return (
+            f"engine: {self.total} runs "
+            f"({self.computed} computed, {self.cached} from cache, "
+            f"jobs={self.jobs}, executor={self.executor}) "
+            f"retries={self.retries} timeouts={self.timeouts} "
+            f"elapsed={self.elapsed:.1f}s"
+        )
 
 
 @dataclass(frozen=True)
@@ -373,6 +387,12 @@ class EngineOptions:
     #: Per-cell wall-clock budget in seconds (``jobs > 1`` only); ``None``
     #: defers to the ``REPRO_CELL_TIMEOUT`` environment variable.
     cell_timeout: Optional[float] = None
+    #: Execution backend name (``local``/``queue``); ``None`` defers to
+    #: the ``REPRO_EXECUTOR`` environment variable, then ``local``.
+    executor: Optional[str] = None
+    #: An :class:`EngineStats` filled in place across the artifact's
+    #: sweeps, so callers (the CLI) can print the engine summary line.
+    stats: Optional[EngineStats] = field(default=None, compare=False)
 
     def run_kwargs(self) -> Dict[str, Any]:
         return {
@@ -380,6 +400,8 @@ class EngineOptions:
             "cache_dir": self.cache_dir,
             "progress": self.progress,
             "cell_timeout": self.cell_timeout,
+            "executor": self.executor,
+            "stats": self.stats,
         }
 
 
@@ -679,6 +701,7 @@ def run_configs(
     progress: Optional[ProgressCallback] = None,
     stats: Optional[EngineStats] = None,
     cell_timeout: Optional[float] = None,
+    executor: Optional[str] = None,
 ) -> List[ExperimentResult]:
     """Run experiments, optionally in parallel and through a result cache.
 
@@ -716,16 +739,28 @@ def run_configs(
         disables.  A cell over budget is terminated and recorded; the rest
         of the sweep completes before a :class:`WorkerError` aggregating
         the cancelled cells is raised.
+    executor:
+        Execution backend for the pending (non-cached) cells: ``"local"``
+        (the historical in-process engine) or ``"queue"`` (claim cells
+        from the shared cache root so detached ``faas-sched worker``
+        processes — on any host — can compute them too; see
+        :mod:`repro.experiments.queue`).  ``None`` defers to the
+        ``REPRO_EXECUTOR`` environment variable, then ``local``.
 
-    Results are bit-identical across ``jobs`` values: each config seeds its
-    own RNGs inside whichever process runs it, and result order is fixed by
-    input order, not completion order.
+    Results are bit-identical across ``jobs`` values *and* executors: each
+    config seeds its own RNGs inside whichever process runs it, and result
+    order is fixed by input order, not completion order.
     """
+    from repro.experiments.executor import ExecutionContext, get_executor
+
     configs = list(configs)
     cell_timeout = _resolve_cell_timeout(cell_timeout)
+    backend = get_executor(executor)
     stats = stats if stats is not None else EngineStats()
-    stats.total = len(configs)
+    stats.total += len(configs)
     stats.jobs = max(1, int(jobs))
+    stats.executor = backend.name
+    started = time.monotonic()
     cache = (
         ResultCache(cache_dir, namespace=_runner_namespace(runner))
         if cache_dir is not None
@@ -743,8 +778,6 @@ def run_configs(
             stats.cached += 1
         else:
             stats.computed += 1
-            if cache is not None:
-                cache.store(config, result)
         if progress is not None:
             progress(done, stats.total, config.label(), cached)
 
@@ -756,18 +789,18 @@ def run_configs(
         else:
             pending.append((index, config, runner or _default_runner(config)))
 
-    if not pending:
-        return results  # type: ignore[return-value]
-
-    if stats.jobs <= 1:
-        for index, config, run in pending:
-            finished(index, config, run(config), cached=False)
-        return results  # type: ignore[return-value]
-
-    engine = _ProcessEngine(
-        workers=min(stats.jobs, len(pending)),
-        cell_timeout=cell_timeout,
-        stats=stats,
-    )
-    engine.run(pending, finished)
+    try:
+        if pending:
+            backend.execute(
+                pending,
+                finished,
+                ExecutionContext(
+                    jobs=stats.jobs,
+                    cache=cache,
+                    cell_timeout=cell_timeout,
+                    stats=stats,
+                ),
+            )
+    finally:
+        stats.elapsed += time.monotonic() - started
     return results  # type: ignore[return-value]

@@ -1,0 +1,692 @@
+"""Distributed, resumable grid execution over a shared cache root.
+
+The ``queue`` executor turns the content-addressed result cache into a
+work queue: the submitting process writes one *queue entry* per pending
+cell (fingerprint-keyed, under ``<root>/queue/``), and any number of
+worker processes — ``faas-sched worker`` on this host or any host that
+shares the cache directory (NFS, a synced volume, a CI workspace) —
+claim entries, compute them, and store the result in the cache.  The
+cache entry *is* the done-marker, so:
+
+* any worker's cache write is every worker's cache hit;
+* an interrupted sweep resumes for free — re-running the grid only
+  enqueues (and computes) cells whose done-marker is missing;
+* concurrent sweeps over overlapping grids deduplicate naturally.
+
+Claim protocol (crash-safe by construction):
+
+1. **Claim** — a worker claims fingerprint ``fp`` by creating
+   ``<root>/claims/<fp>.lease`` with ``O_CREAT | O_EXCL`` (atomic on
+   POSIX and NFSv3+): exactly one concurrent claimant wins.  The lease
+   records owner id, host, pid, TTL, and a heartbeat timestamp.
+2. **Heartbeat** — while computing, the owner refreshes the lease every
+   ``ttl/4`` seconds (atomic rewrite).  A lease whose heartbeat is
+   older than its TTL — or whose owning pid is dead, when observed from
+   the same host — is *stale*.
+3. **Steal** — a stale lease is taken over by renaming it away; the
+   rename succeeds for exactly one stealer (the losers' rename raises),
+   after which the winner re-claims via step 1.  A SIGKILLed worker's
+   cell is therefore recomputed exactly once, by whoever steals it.
+4. **Done** — the owner stores the result (atomic ``os.replace`` into
+   the cache fan-out), removes the queue entry, then releases the
+   lease.  Ordering matters: the done-marker lands before the claim
+   disappears, so no window exists in which a cell looks both unclaimed
+   and uncomputed.
+
+Workers only ever *add* byte-identical entries (every cell is a fully
+seeded, deterministic simulation), so racing computations of the same
+cell are wasteful but harmless — the last atomic store wins with the
+same bytes.  See docs/DISTRIBUTED.md for the operational guide.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import socket
+import sys
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple, Union
+
+from repro.experiments.executor import ExecutionContext, Executor, FinishedCallback
+from repro.experiments.parallel import (
+    AnyConfig,
+    ResultCache,
+    Runner,
+    _default_runner,
+    config_fingerprint,
+    config_from_dict,
+    config_to_dict,
+)
+from repro.experiments.runner import (
+    run_experiment,
+    run_multi_node_experiment,
+)
+
+__all__ = [
+    "CLAIMS_DIR",
+    "DEFAULT_LEASE_TTL",
+    "LEASE_TTL_ENV",
+    "Lease",
+    "QUEUE_DIR",
+    "QueueExecutor",
+    "WorkerSummary",
+    "enqueue_config",
+    "pending_fingerprints",
+    "read_lease",
+    "release_lease",
+    "run_worker",
+    "try_claim",
+]
+
+#: Sidecar directories under the cache root.  Neither name is two hex
+#: characters, so the cache's own shard scan (and ``verify_cache``)
+#: never visits them.
+QUEUE_DIR = "queue"
+CLAIMS_DIR = "claims"
+
+#: Environment variable supplying the default lease TTL (seconds).
+LEASE_TTL_ENV = "REPRO_LEASE_TTL"
+#: A lease not refreshed for this long is stale and stealable.  Cells
+#: typically run seconds-to-minutes; the heartbeat fires every ttl/4,
+#: so 60 s tolerates heavy scheduler jitter without delaying recovery
+#: from a dead worker by more than a minute.
+DEFAULT_LEASE_TTL = 60.0
+#: Heartbeats per TTL window.
+_HEARTBEAT_FRACTION = 4.0
+#: Poll interval while waiting on cells claimed by other workers.
+DEFAULT_POLL_S = 0.2
+
+#: ``callback(fingerprint, label)`` invoked when a worker starts a cell.
+WorkerProgress = Callable[[str, str], None]
+
+
+def _resolve_ttl(ttl: Optional[float]) -> float:
+    """The effective lease TTL: explicit value, else ``$REPRO_LEASE_TTL``,
+    else :data:`DEFAULT_LEASE_TTL`; must be positive."""
+    if ttl is None:
+        raw = os.environ.get(LEASE_TTL_ENV, "").strip()
+        if not raw:
+            return DEFAULT_LEASE_TTL
+        try:
+            ttl = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"{LEASE_TTL_ENV}={raw!r} is not a number (seconds)"
+            ) from None
+    ttl = float(ttl)
+    if ttl <= 0:
+        raise ValueError(f"lease TTL must be positive, got {ttl}")
+    return ttl
+
+
+def new_owner_id() -> str:
+    """A worker identity unique across hosts, processes, and restarts."""
+    return f"{socket.gethostname()}:{os.getpid()}:{uuid.uuid4().hex[:8]}"
+
+
+# ----------------------------------------------------------------------
+# Paths
+# ----------------------------------------------------------------------
+def _queue_path(root: Path, fingerprint: str) -> Path:
+    return root / QUEUE_DIR / f"{fingerprint}.json"
+
+
+def _lease_path(root: Path, fingerprint: str) -> Path:
+    return root / CLAIMS_DIR / f"{fingerprint}.lease"
+
+
+def _done_path(root: Path, fingerprint: str) -> Path:
+    """The cache entry for ``fingerprint`` — its existence is the
+    done-marker (same layout as :class:`ResultCache.path_for`)."""
+    return root / fingerprint[:2] / f"{fingerprint}.json"
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}-{uuid.uuid4().hex[:6]}")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
+
+
+# ----------------------------------------------------------------------
+# Leases
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Lease:
+    """One worker's claim on one cell."""
+
+    fingerprint: str
+    owner: str
+    host: str
+    pid: int
+    #: Unix timestamps (`time.time()`): wall clock is the only clock
+    #: shared across hosts.  TTLs are minutes, so ordinary clock skew
+    #: is harmless; heavily skewed clocks only cause extra (idempotent)
+    #: recomputation, never corruption.
+    acquired_at: float
+    heartbeat_at: float
+    ttl: float
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "fingerprint": self.fingerprint,
+                "owner": self.owner,
+                "host": self.host,
+                "pid": self.pid,
+                "acquired_at": self.acquired_at,
+                "heartbeat_at": self.heartbeat_at,
+                "ttl": self.ttl,
+            }
+        )
+
+
+def read_lease(path: Union[str, Path]) -> Optional[Lease]:
+    """Parse a lease file; ``None`` when missing or unreadable (a corrupt
+    lease is treated as stale — it cannot prove liveness)."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        return Lease(
+            fingerprint=str(payload["fingerprint"]),
+            owner=str(payload["owner"]),
+            host=str(payload["host"]),
+            pid=int(payload["pid"]),
+            acquired_at=float(payload["acquired_at"]),
+            heartbeat_at=float(payload["heartbeat_at"]),
+            ttl=float(payload["ttl"]),
+        )
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def lease_is_stale(lease: Lease, now: Optional[float] = None) -> bool:
+    """TTL-expired, or owned by a dead pid on *this* host (cross-host
+    liveness can only be judged by the heartbeat)."""
+    now = time.time() if now is None else now
+    if now - lease.heartbeat_at > lease.ttl:
+        return True
+    if lease.host == socket.gethostname():
+        try:
+            os.kill(lease.pid, 0)
+        except ProcessLookupError:
+            return True
+        except (PermissionError, OSError):  # exists, different user
+            pass
+    return False
+
+
+def steal_lease(path: Path) -> bool:
+    """Take a stale lease out of play; exactly one of N concurrent
+    stealers succeeds (the single winning ``os.rename``)."""
+    tomb = path.with_name(f"{path.name}.stale-{uuid.uuid4().hex[:8]}")
+    try:
+        os.rename(path, tomb)
+    except OSError:
+        return False
+    try:
+        os.unlink(tomb)
+    except OSError:  # pragma: no cover - tombstone already reaped
+        pass
+    return True
+
+
+def try_claim(
+    root: Union[str, Path],
+    fingerprint: str,
+    *,
+    owner: str,
+    ttl: Optional[float] = None,
+) -> bool:
+    """Attempt to claim ``fingerprint``; True when this owner now holds
+    the lease.  A fresh lease held by someone else fails the claim; a
+    stale one is stolen (exactly once across all racers) and re-claimed.
+    """
+    root = Path(root).expanduser()
+    ttl = _resolve_ttl(ttl)
+    path = _lease_path(root, fingerprint)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    for _ in range(2):  # second round after a successful steal
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            lease = read_lease(path)
+            if lease is not None and not lease_is_stale(lease):
+                return False
+            if not path.exists():
+                continue  # released between the open and the read; retry
+            if not steal_lease(path):
+                return False  # another worker stole (and will re-claim) it
+            continue
+        now = time.time()
+        lease = Lease(
+            fingerprint=fingerprint,
+            owner=owner,
+            host=socket.gethostname(),
+            pid=os.getpid(),
+            acquired_at=now,
+            heartbeat_at=now,
+            ttl=ttl,
+        )
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(lease.to_json())
+        return True
+    return False
+
+
+def refresh_lease(
+    root: Union[str, Path], fingerprint: str, *, owner: str, ttl: float
+) -> None:
+    """Re-assert liveness: rewrite the lease with a fresh heartbeat."""
+    root = Path(root).expanduser()
+    now = time.time()
+    lease = Lease(
+        fingerprint=fingerprint,
+        owner=owner,
+        host=socket.gethostname(),
+        pid=os.getpid(),
+        acquired_at=now,  # refreshed leases restart their window
+        heartbeat_at=now,
+        ttl=ttl,
+    )
+    _atomic_write(_lease_path(root, fingerprint), lease.to_json())
+
+
+def release_lease(root: Union[str, Path], fingerprint: str) -> None:
+    """Drop a claim (best-effort: a raced steal already removed it)."""
+    try:
+        os.unlink(_lease_path(Path(root).expanduser(), fingerprint))
+    except OSError:
+        pass
+
+
+class _LeaseHeartbeat(threading.Thread):
+    """Background refresher keeping a lease fresh while its cell runs."""
+
+    def __init__(self, root: Path, fingerprint: str, owner: str, ttl: float) -> None:
+        super().__init__(daemon=True, name=f"lease-heartbeat-{fingerprint[:8]}")
+        self.root = root
+        self.fingerprint = fingerprint
+        self.owner = owner
+        self.ttl = ttl
+        self.interval = max(ttl / _HEARTBEAT_FRACTION, 0.05)
+        self._stop_event = threading.Event()
+
+    def run(self) -> None:
+        while not self._stop_event.wait(self.interval):
+            try:
+                refresh_lease(
+                    self.root, self.fingerprint, owner=self.owner, ttl=self.ttl
+                )
+            except OSError:  # pragma: no cover - cache root vanished
+                return
+
+    def stop(self) -> None:
+        self._stop_event.set()
+        self.join(timeout=5.0)
+
+
+# ----------------------------------------------------------------------
+# Queue entries
+# ----------------------------------------------------------------------
+def enqueue_config(
+    root: Union[str, Path], config: AnyConfig, *, namespace: str = ""
+) -> str:
+    """Publish one pending cell; returns its fingerprint.  Idempotent:
+    an existing queue entry or done-marker short-circuits."""
+    root = Path(root).expanduser()
+    fingerprint = config_fingerprint(config, namespace=namespace)
+    path = _queue_path(root, fingerprint)
+    if path.exists() or _done_path(root, fingerprint).exists():
+        return fingerprint
+    path.parent.mkdir(parents=True, exist_ok=True)
+    _atomic_write(
+        path,
+        json.dumps(
+            {
+                "fingerprint": fingerprint,
+                "namespace": namespace,
+                "config": config_to_dict(config),
+            }
+        ),
+    )
+    return fingerprint
+
+
+def pending_fingerprints(root: Union[str, Path]) -> List[str]:
+    """Fingerprints with a queue entry, sorted (stable scan order)."""
+    queue_dir = Path(root).expanduser() / QUEUE_DIR
+    if not queue_dir.is_dir():
+        return []
+    return sorted(path.stem for path in queue_dir.glob("*.json"))
+
+
+def _remove_queue_entry(root: Path, fingerprint: str) -> None:
+    try:
+        os.unlink(_queue_path(root, fingerprint))
+    except OSError:
+        pass
+
+
+def _reap(root: Path, fingerprint: str) -> None:
+    """A done cell needs neither queue entry nor (stale) lease."""
+    _remove_queue_entry(root, fingerprint)
+    lease_path = _lease_path(root, fingerprint)
+    lease = read_lease(lease_path)
+    if lease is not None and lease_is_stale(lease):
+        steal_lease(lease_path)
+
+
+def _read_entry(path: Path) -> Optional[Dict[str, Any]]:
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(payload, dict):
+            raise ValueError("queue entry is not an object")
+        return payload
+    except (OSError, ValueError):
+        return None
+
+
+# ----------------------------------------------------------------------
+# Worker loop
+# ----------------------------------------------------------------------
+@dataclass
+class WorkerSummary:
+    """What one :func:`run_worker` invocation did."""
+
+    #: Cells this worker claimed, computed, and stored.
+    computed: int = 0
+    #: Queue entries removed because their done-marker already existed
+    #: (another worker computed them, or a previous sweep did).
+    reaped: int = 0
+    #: Queue entries dropped as unreadable or fingerprint-inconsistent
+    #: (e.g. written by a different schema/package version).
+    invalid: int = 0
+    #: Wall-clock seconds spent in the loop.
+    elapsed: float = 0.0
+    #: Labels of the computed cells, in completion order.
+    labels: List[str] = field(default_factory=list)
+
+    def summary_line(self) -> str:
+        return (
+            f"worker: {self.computed} computed, {self.reaped} reaped, "
+            f"{self.invalid} invalid, elapsed={self.elapsed:.1f}s"
+        )
+
+
+def _entry_config(path: Path, fingerprint: str) -> Optional[Tuple[AnyConfig, str]]:
+    """Deserialize one queue entry and verify its fingerprint really is
+    the content address of its config under the *current* schema and
+    package version — an entry written by different code can never
+    produce a valid done-marker for this filename, so it is dropped
+    rather than computed."""
+    payload = _read_entry(path)
+    if payload is None:
+        return None
+    try:
+        namespace = str(payload.get("namespace", ""))
+        config = config_from_dict(payload["config"])
+    except (KeyError, TypeError, ValueError):
+        return None
+    if config_fingerprint(config, namespace=namespace) != fingerprint:
+        return None
+    return config, namespace
+
+
+def run_worker(
+    cache_dir: Union[str, Path],
+    *,
+    poll: float = DEFAULT_POLL_S,
+    idle_timeout: Optional[float] = None,
+    lease_ttl: Optional[float] = None,
+    max_cells: Optional[int] = None,
+    only: Optional[Set[str]] = None,
+    progress: Optional[WorkerProgress] = None,
+) -> WorkerSummary:
+    """Claim-and-compute loop over a shared cache root's work queue.
+
+    Scans ``<cache_dir>/queue/`` for pending cells, claims them one at a
+    time (lease + heartbeat), computes each with the default runner for
+    its config type, stores the result, and removes the queue entry.
+    Exits when no claimable work has been visible for ``idle_timeout``
+    seconds (``None``/``0``: drain once and exit as soon as the queue
+    looks empty), or after ``max_cells`` computations.
+
+    ``only`` restricts the worker to a fingerprint subset (the queue
+    executor's local helpers use this to drain exactly their own sweep).
+    An exception inside a cell releases the lease and leaves the queue
+    entry in place, then propagates — the cell stays computable by
+    another worker (which will hit the same deterministic error and
+    surface it too).
+    """
+    root = Path(cache_dir).expanduser()
+    (root / QUEUE_DIR).mkdir(parents=True, exist_ok=True)
+    (root / CLAIMS_DIR).mkdir(parents=True, exist_ok=True)
+    ttl = _resolve_ttl(lease_ttl)
+    if poll <= 0:
+        raise ValueError(f"poll interval must be positive, got {poll}")
+    owner = new_owner_id()
+    summary = WorkerSummary()
+    started = time.monotonic()
+    idle_since: Optional[float] = None
+    try:
+        while True:
+            if max_cells is not None and summary.computed >= max_cells:
+                break
+            if _scan_once(root, owner, ttl, summary, only, progress, max_cells):
+                idle_since = None
+                continue
+            if not idle_timeout:
+                break
+            now = time.monotonic()
+            if idle_since is None:
+                idle_since = now
+            elif now - idle_since >= idle_timeout:
+                break
+            time.sleep(poll)
+    finally:
+        summary.elapsed = time.monotonic() - started
+    return summary
+
+
+def _scan_once(
+    root: Path,
+    owner: str,
+    ttl: float,
+    summary: WorkerSummary,
+    only: Optional[Set[str]],
+    progress: Optional[WorkerProgress],
+    max_cells: Optional[int],
+) -> bool:
+    """One pass over the queue; True when any progress was made."""
+    progressed = False
+    for fingerprint in pending_fingerprints(root):
+        if only is not None and fingerprint not in only:
+            continue
+        if max_cells is not None and summary.computed >= max_cells:
+            break
+        if _done_path(root, fingerprint).exists():
+            _reap(root, fingerprint)
+            summary.reaped += 1
+            progressed = True
+            continue
+        entry = _entry_config(_queue_path(root, fingerprint), fingerprint)
+        if entry is None:
+            if _queue_path(root, fingerprint).exists():
+                _remove_queue_entry(root, fingerprint)
+                summary.invalid += 1
+                progressed = True
+            continue
+        config, namespace = entry
+        if not try_claim(root, fingerprint, owner=owner, ttl=ttl):
+            continue
+        # Claimed after the done-check raced a finishing worker?  The
+        # store is idempotent, so recomputing is merely wasteful — but
+        # one cheap re-check avoids it in the common case.
+        if _done_path(root, fingerprint).exists():
+            release_lease(root, fingerprint)
+            _reap(root, fingerprint)
+            summary.reaped += 1
+            progressed = True
+            continue
+        if progress is not None:
+            progress(fingerprint, config.label())
+        heartbeat = _LeaseHeartbeat(root, fingerprint, owner, ttl)
+        heartbeat.start()
+        try:
+            result = _default_runner(config)(config)
+            ResultCache(root, namespace=namespace).store(config, result)
+        finally:
+            heartbeat.stop()
+            release_lease(root, fingerprint)
+        _remove_queue_entry(root, fingerprint)
+        summary.computed += 1
+        summary.labels.append(config.label())
+        progressed = True
+    return progressed
+
+
+# ----------------------------------------------------------------------
+# The queue executor
+# ----------------------------------------------------------------------
+def _helper_main(
+    root: str, only: List[str], ttl: float, poll: float, idle_timeout: float
+) -> None:
+    """Entry point of a local helper worker (one subprocess per job)."""
+    run_worker(
+        root,
+        only=set(only),
+        lease_ttl=ttl,
+        poll=poll,
+        idle_timeout=idle_timeout,
+    )
+
+
+class QueueExecutor(Executor):
+    """Claim-file distribution over the shared cache root.
+
+    The submitting process enqueues every pending cell, then acts as a
+    worker itself: it claims and computes cells inline, polling for
+    done-markers produced by other workers in between.  ``jobs > 1``
+    additionally spawns ``jobs - 1`` local helper workers restricted to
+    this sweep's fingerprints, giving the queue executor the same
+    single-host parallelism as the local engine while staying open to
+    any number of external ``faas-sched worker`` processes.
+
+    Requires a cache directory (the cache root *is* the coordination
+    medium) and the default runners (a custom runner callable cannot be
+    reconstructed by a detached worker process).
+    """
+
+    name = "queue"
+
+    #: Local helpers idle-exit this long after the sweep stops offering
+    #: them claimable work; the submitting process finishes the rest.
+    HELPER_IDLE_TIMEOUT = 2.0
+
+    def __init__(
+        self, poll: float = DEFAULT_POLL_S, lease_ttl: Optional[float] = None
+    ) -> None:
+        self.poll = poll
+        self.lease_ttl = lease_ttl
+
+    def execute(
+        self,
+        pending: List[Tuple[int, AnyConfig, Runner]],
+        finished: FinishedCallback,
+        context: ExecutionContext,
+    ) -> None:
+        cache = context.cache
+        if cache is None:
+            raise ValueError(
+                "the queue executor requires a cache directory "
+                "(--cache-dir / cache_dir=...): the shared cache root is "
+                "the work queue and the done-marker store"
+            )
+        for _, _, run in pending:
+            if run not in (run_experiment, run_multi_node_experiment):
+                raise ValueError(
+                    "the queue executor supports only the default "
+                    "experiment runners; a custom runner callable cannot "
+                    "be reconstructed by detached workers — use "
+                    "executor='local'"
+                )
+        root = cache.root
+        namespace = cache.namespace
+        ttl = _resolve_ttl(self.lease_ttl)
+        owner = new_owner_id()
+        remaining: Dict[str, Tuple[int, AnyConfig]] = {}
+        for index, config, _ in pending:
+            fingerprint = enqueue_config(root, config, namespace=namespace)
+            remaining[fingerprint] = (index, config)
+        helpers = self._spawn_helpers(context.jobs, root, list(remaining), ttl)
+        computed_here: Set[str] = set()
+        try:
+            while remaining:
+                progressed = False
+                for fingerprint in list(remaining):
+                    index, config = remaining[fingerprint]
+                    if _done_path(root, fingerprint).exists():
+                        result = cache.load(config)
+                        if result is None:
+                            # Corrupt done-marker (e.g. torn disk write):
+                            # put the cell back in play.
+                            enqueue_config(root, config, namespace=namespace)
+                            continue
+                        _reap(root, fingerprint)
+                        finished(
+                            index,
+                            config,
+                            result,
+                            fingerprint not in computed_here,
+                        )
+                        del remaining[fingerprint]
+                        progressed = True
+                        continue
+                    if not try_claim(root, fingerprint, owner=owner, ttl=ttl):
+                        continue
+                    heartbeat = _LeaseHeartbeat(root, fingerprint, owner, ttl)
+                    heartbeat.start()
+                    try:
+                        result = _default_runner(config)(config)
+                        cache.store(config, result)
+                    finally:
+                        heartbeat.stop()
+                        release_lease(root, fingerprint)
+                    _remove_queue_entry(root, fingerprint)
+                    computed_here.add(fingerprint)
+                    finished(index, config, result, False)
+                    del remaining[fingerprint]
+                    progressed = True
+                if remaining and not progressed:
+                    time.sleep(self.poll)
+        finally:
+            for helper in helpers:
+                helper.join(timeout=self.HELPER_IDLE_TIMEOUT + 5.0)
+                if helper.is_alive():  # pragma: no cover - wedged helper
+                    helper.terminate()
+                    helper.join(timeout=5.0)
+
+    def _spawn_helpers(
+        self, jobs: int, root: Path, fingerprints: List[str], ttl: float
+    ) -> List[Any]:
+        count = min(max(0, jobs - 1), len(fingerprints))
+        if count == 0:
+            return []
+        context = multiprocessing.get_context(
+            "fork" if sys.platform.startswith("linux") else None
+        )
+        helpers = []
+        for _ in range(count):
+            process = context.Process(
+                target=_helper_main,
+                args=(str(root), fingerprints, ttl, self.poll, self.HELPER_IDLE_TIMEOUT),
+            )
+            process.daemon = True
+            process.start()
+            helpers.append(process)
+        return helpers

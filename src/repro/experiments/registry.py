@@ -38,7 +38,7 @@ from repro.experiments.fig2_coldstarts import run_fig2
 from repro.experiments.fig5_fairness import run_fig5
 from repro.experiments.fig6_multinode import run_fig6
 from repro.experiments.grid import GridSpec, run_grid
-from repro.experiments.parallel import EngineOptions, ProgressCallback
+from repro.experiments.parallel import EngineOptions, EngineStats, ProgressCallback
 from repro.experiments.table1 import run_table1
 from repro.failures.spec import FailureSpec
 
@@ -354,6 +354,8 @@ def run_registered(
     policy_params: Union[Mapping[str, Any], Tuple[Tuple[str, Any], ...]] = (),
     failure_params: Union[Mapping[str, Any], Tuple[Tuple[str, Any], ...]] = (),
     cell_timeout: Optional[float] = None,
+    executor: Optional[str] = None,
+    stats: Optional[EngineStats] = None,
 ) -> str:
     """Run a registered experiment and return its rendered report.
 
@@ -372,8 +374,13 @@ def run_registered(
     ``failure_params`` name :class:`~repro.failures.spec.FailureSpec`
     fields and rerun the grid-backed artifacts under that fault regime
     (docs/FAILURES.md); ``cell_timeout`` bounds each cell's wall clock
-    when ``jobs > 1``.  The remaining artifacts reject the overrides
-    rather than silently ignoring them.
+    when ``jobs > 1``.  ``executor`` selects the execution backend for
+    the engine-run artifacts (``local`` process pool or the distributed
+    ``queue`` — see :mod:`repro.experiments.executor`); ``stats``
+    supplies a shared :class:`~repro.experiments.parallel.EngineStats`
+    that accumulates engine counters across the artifact's sweeps.  The
+    remaining artifacts reject the overrides rather than silently
+    ignoring them.
     """
     try:
         _, runner = EXPERIMENTS[experiment_id]
@@ -438,7 +445,12 @@ def run_registered(
             )
         failure_selection.spec()  # a bad field name fails before any run
     engine = EngineOptions(
-        jobs=jobs, cache_dir=cache_dir, progress=progress, cell_timeout=cell_timeout
+        jobs=jobs,
+        cache_dir=cache_dir,
+        progress=progress,
+        cell_timeout=cell_timeout,
+        executor=executor,
+        stats=stats,
     )
     # A mapping is the natural programmatic spelling (ExperimentConfig
     # accepts it too); tuple() on a dict would keep only the keys.

@@ -377,7 +377,10 @@ def _bca_quantiles(
     jbar = _mean(jack)
     cubes = sum((jbar - v) ** 3 for v in jack)
     squares = sum((jbar - v) ** 2 for v in jack)
-    accel = cubes / (6.0 * squares**1.5) if squares > 0 else 0.0
+    # squares > 0 does not guarantee squares**1.5 > 0: for deviations
+    # around 1e-157 the 1.5 power underflows to exactly 0.0.
+    denom = 6.0 * squares**1.5
+    accel = cubes / denom if denom > 0 else 0.0
 
     def adjust(q: float) -> float:
         z = _NORMAL.inv_cdf(q)

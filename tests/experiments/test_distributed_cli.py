@@ -1,0 +1,195 @@
+"""CLI surface of the distributed executor and cache lifecycle verbs."""
+
+import json
+
+import pytest
+
+from repro.cli import _parse_size, build_parser, main
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import ResultCache, run_configs
+from repro.experiments.queue import enqueue_config, pending_fingerprints
+
+
+GRID = [
+    "grid",
+    "--cores", "10",
+    "--intensities", "30",
+    "--strategies", "FIFO",
+    "--seeds", "1",
+    "--no-progress",
+]
+
+
+class TestExecutorFlag:
+    def test_parser_accepts_executor(self):
+        args = build_parser().parse_args(GRID + ["--executor", "local"])
+        assert args.executor == "local"
+
+    def test_parser_rejects_unknown_executor(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(GRID + ["--executor", "slurm"])
+
+    def test_queue_without_cache_dir_is_a_clean_error(self, capsys):
+        assert main(GRID + ["--executor", "queue"]) == 2
+        err = capsys.readouterr().err
+        assert "needs --cache-dir" in err
+
+    def test_grid_prints_engine_summary_with_counters(self, capsys, tmp_path):
+        assert main(GRID + ["--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "engine: 1 runs (1 computed, 0 from cache" in out
+        assert "executor=local" in out
+        assert "retries=0" in out
+        assert "timeouts=0" in out
+        assert "elapsed=" in out
+
+    def test_grid_via_queue_executor(self, capsys, tmp_path):
+        argv = GRID + ["--cache-dir", str(tmp_path), "--executor", "queue"]
+        assert main(argv) == 0
+        assert "executor=queue" in capsys.readouterr().out
+        # Re-run resumes entirely from the shared cache.
+        assert main(argv) == 0
+        assert "0 computed, 1 from cache" in capsys.readouterr().out
+
+    def test_run_prints_engine_summary_for_engine_run_artifacts(self, capsys):
+        assert main(["run", "table3", "--no-progress"]) == 0
+        out = capsys.readouterr().out
+        assert "engine:" in out
+        assert "executor=local" in out
+
+    def test_run_omits_engine_summary_for_fixed_artifacts(self, capsys):
+        assert main(["run", "table1", "--no-progress"]) == 0
+        assert "engine:" not in capsys.readouterr().out
+
+    def test_compare_prints_engine_summary(self, capsys):
+        assert main([
+            "compare", "FIFO", "SEPT",
+            "--seeds", "1", "2", "--no-progress",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "engine: 4 runs" in out
+
+
+class TestWorkerVerb:
+    def test_worker_requires_cache_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker"])
+
+    def test_worker_drains_queue_and_reports(self, capsys, tmp_path):
+        config = ExperimentConfig(cores=10, intensity=30, policy="FIFO", seed=1)
+        enqueue_config(tmp_path, config)
+        assert main(["worker", "--cache-dir", str(tmp_path), "--no-progress"]) == 0
+        out = capsys.readouterr().out
+        assert "worker: 1 computed, 0 reaped, 0 invalid" in out
+        assert pending_fingerprints(tmp_path) == []
+        assert ResultCache(tmp_path).load(config) is not None
+
+    def test_worker_on_empty_queue_exits_promptly(self, capsys, tmp_path):
+        assert main(["worker", "--cache-dir", str(tmp_path), "--no-progress"]) == 0
+        assert "worker: 0 computed" in capsys.readouterr().out
+
+    def test_worker_max_cells(self, capsys, tmp_path):
+        for seed in (1, 2, 3):
+            enqueue_config(
+                tmp_path,
+                ExperimentConfig(cores=10, intensity=30, policy="FIFO", seed=seed),
+            )
+        assert main([
+            "worker", "--cache-dir", str(tmp_path),
+            "--max-cells", "2", "--no-progress",
+        ]) == 0
+        assert "worker: 2 computed" in capsys.readouterr().out
+        assert len(pending_fingerprints(tmp_path)) == 1
+
+    def test_worker_progress_lines_on_stderr(self, capsys, tmp_path):
+        enqueue_config(
+            tmp_path, ExperimentConfig(cores=10, intensity=30, policy="FIFO", seed=1)
+        )
+        assert main(["worker", "--cache-dir", str(tmp_path)]) == 0
+        err = capsys.readouterr().err
+        assert "worker: computing" in err
+
+
+class TestCacheVerbs:
+    def _populate(self, root):
+        config = ExperimentConfig(cores=10, intensity=30, policy="FIFO", seed=1)
+        result = run_configs([config])[0]
+        ResultCache(root).store(config, result)
+        return config
+
+    def test_stats(self, capsys, tmp_path):
+        self._populate(tmp_path)
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cache: 1 entries" in out
+        assert "1 current" in out
+        assert "sidecars:" in out
+
+    def test_gc_dry_run_then_real(self, capsys, tmp_path):
+        self._populate(tmp_path)
+        assert main([
+            "cache", "gc", "--cache-dir", str(tmp_path),
+            "--size-budget", "0", "--dry-run",
+        ]) == 0
+        assert "would evict 1" in capsys.readouterr().out
+        assert main([
+            "cache", "gc", "--cache-dir", str(tmp_path), "--size-budget", "0",
+        ]) == 0
+        assert "evicted 1" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        assert "cache: 0 entries" in capsys.readouterr().out
+
+    def test_gc_size_budget_accepts_suffixes(self, capsys, tmp_path):
+        self._populate(tmp_path)
+        assert main([
+            "cache", "gc", "--cache-dir", str(tmp_path), "--size-budget", "1GiB",
+        ]) == 0
+        assert "evicted 0" in capsys.readouterr().out
+
+    def test_merge_then_all_hits(self, capsys, tmp_path):
+        src, dst = tmp_path / "src", tmp_path / "dst"
+        config_a = ExperimentConfig(cores=10, intensity=30, policy="FIFO", seed=1)
+        config_b = ExperimentConfig(cores=10, intensity=30, policy="SEPT", seed=1)
+        results = run_configs([config_a, config_b])
+        ResultCache(src).store(config_a, results[0])
+        ResultCache(dst).store(config_b, results[1])
+        assert main(["cache", "merge", str(src), str(dst)]) == 0
+        assert "merge: 1 copied" in capsys.readouterr().out
+        assert main([
+            "grid",
+            "--cores", "10", "--intensities", "30",
+            "--strategies", "FIFO", "SEPT", "--seeds", "1",
+            "--no-progress", "--cache-dir", str(dst),
+        ]) == 0
+        assert "0 computed, 2 from cache" in capsys.readouterr().out
+
+    def test_merge_conflict_is_a_clean_error(self, capsys, tmp_path):
+        src, dst = tmp_path / "src", tmp_path / "dst"
+        config = self._populate(src)
+        self._populate(dst)
+        path = ResultCache(dst).path_for(config)
+        payload = json.loads(path.read_text())
+        payload["extra"] = "tampered"
+        path.write_text(json.dumps(payload))
+        assert main(["cache", "merge", str(src), str(dst)]) == 2
+        assert "different bytes" in capsys.readouterr().err
+
+    def test_verify_still_works(self, capsys, tmp_path):
+        self._populate(tmp_path)
+        assert main(["cache", "verify", "--cache-dir", str(tmp_path)]) == 0
+        assert "scanned: 1  ok: 1" in capsys.readouterr().out
+
+
+class TestSizeParsing:
+    def test_plain_bytes(self):
+        assert _parse_size("1048576") == 1024**2
+
+    def test_suffixes(self):
+        assert _parse_size("1KiB") == 1024
+        assert _parse_size("2MiB") == 2 * 1024**2
+        assert _parse_size("1gb") == 1024**3
+        assert _parse_size("1.5k") == 1536
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SystemExit):
+            _parse_size("lots")

@@ -1,0 +1,356 @@
+"""The distributed queue executor and its claim/lease protocol.
+
+The concurrency tests race real processes through the protocol's two
+critical sections — claiming a free cell and stealing a stale lease —
+and assert the exactly-once guarantees the design rests on.
+"""
+
+import json
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.grid import GridSpec, run_grid
+from repro.experiments.parallel import (
+    EngineStats,
+    ResultCache,
+    config_fingerprint,
+    result_to_payload,
+    run_configs,
+    verify_cache,
+)
+from repro.experiments.queue import (
+    CLAIMS_DIR,
+    QUEUE_DIR,
+    Lease,
+    QueueExecutor,
+    _lease_path,
+    _queue_path,
+    enqueue_config,
+    lease_is_stale,
+    pending_fingerprints,
+    read_lease,
+    run_worker,
+    steal_lease,
+    try_claim,
+)
+
+_MP = multiprocessing.get_context("fork")
+
+
+def _config(seed: int = 1, **overrides) -> ExperimentConfig:
+    base = dict(cores=10, intensity=30, policy="FIFO", seed=seed)
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+# ----------------------------------------------------------------------
+# End-to-end executor behaviour
+# ----------------------------------------------------------------------
+class TestQueueExecutor:
+    def test_results_bit_identical_to_serial(self, tmp_path):
+        configs = [_config(seed=s) for s in (1, 2)]
+        serial = run_configs(list(configs))
+        stats = EngineStats()
+        queued = run_configs(
+            list(configs), cache_dir=tmp_path, executor="queue", stats=stats
+        )
+        assert stats.executor == "queue"
+        assert stats.computed == 2
+        for a, b in zip(serial, queued):
+            assert json.dumps(result_to_payload(a), sort_keys=True) == json.dumps(
+                result_to_payload(b), sort_keys=True
+            )
+
+    def test_sweep_is_resumable_with_zero_recomputation(self, tmp_path):
+        spec = GridSpec(
+            cores=(10,), intensities=(30,), strategies=("FIFO", "SEPT"), seeds=(1,)
+        )
+        first = run_grid(spec, cache_dir=tmp_path, executor="queue")
+        assert first.stats.computed == 2
+        second = run_grid(spec, cache_dir=tmp_path, executor="queue")
+        assert second.stats.computed == 0
+        assert second.stats.cached == 2
+        # No leftover coordination state either.
+        assert pending_fingerprints(tmp_path) == []
+        assert list((tmp_path / CLAIMS_DIR).glob("*.lease")) == []
+
+    def test_external_worker_results_count_as_cache_hits(self, tmp_path):
+        config = _config()
+        fingerprint = enqueue_config(tmp_path, config)
+        summary = run_worker(tmp_path)
+        assert summary.computed == 1
+        assert summary.labels == [config.label()]
+        # The submitting sweep now just consumes the done-marker.
+        stats = EngineStats()
+        run_configs([config], cache_dir=tmp_path, executor="queue", stats=stats)
+        assert stats.cached == 1
+        assert stats.computed == 0
+        assert ResultCache(tmp_path).load(config) is not None
+        assert fingerprint == config_fingerprint(config)
+
+    def test_requires_cache_dir(self):
+        with pytest.raises(ValueError, match="requires a cache directory"):
+            run_configs([_config()], executor="queue")
+
+    def test_rejects_custom_runners(self, tmp_path):
+        def custom(config):  # pragma: no cover - rejected before any call
+            raise AssertionError
+
+        with pytest.raises(ValueError, match="default .*runners"):
+            run_configs(
+                [_config()], cache_dir=tmp_path, executor="queue", runner=custom
+            )
+
+    def test_jobs_spawn_local_helpers(self, tmp_path):
+        configs = [_config(seed=s) for s in (1, 2, 3, 4)]
+        stats = EngineStats()
+        results = run_configs(
+            configs, cache_dir=tmp_path, executor="queue", jobs=3, stats=stats
+        )
+        assert len(results) == 4
+        assert stats.cached + stats.computed == 4
+        report = verify_cache(tmp_path)
+        assert report.scanned == 4
+        assert report.bad == 0
+
+    def test_helper_count_never_exceeds_pending(self, tmp_path):
+        executor = QueueExecutor()
+        helpers = executor._spawn_helpers(jobs=8, root=tmp_path, fingerprints=[], ttl=60)
+        assert helpers == []
+
+
+# ----------------------------------------------------------------------
+# Queue entries
+# ----------------------------------------------------------------------
+class TestQueueEntries:
+    def test_enqueue_is_idempotent(self, tmp_path):
+        config = _config()
+        fp1 = enqueue_config(tmp_path, config)
+        fp2 = enqueue_config(tmp_path, config)
+        assert fp1 == fp2
+        assert pending_fingerprints(tmp_path) == [fp1]
+
+    def test_enqueue_skips_done_cells(self, tmp_path):
+        config = _config()
+        result = run_configs([config])[0]
+        ResultCache(tmp_path).store(config, result)
+        enqueue_config(tmp_path, config)
+        assert pending_fingerprints(tmp_path) == []
+
+    def test_fingerprint_mismatch_is_dropped_as_invalid(self, tmp_path):
+        config = _config()
+        fingerprint = enqueue_config(tmp_path, config)
+        # Rewrite the entry under a wrong filename: a worker must refuse
+        # to compute it (it could never produce a valid done-marker).
+        path = _queue_path(tmp_path, fingerprint)
+        bogus = tmp_path / QUEUE_DIR / ("f" * 64 + ".json")
+        os.rename(path, bogus)
+        summary = run_worker(tmp_path)
+        assert summary.computed == 0
+        assert summary.invalid == 1
+        assert pending_fingerprints(tmp_path) == []
+
+    def test_corrupt_entry_is_dropped_as_invalid(self, tmp_path):
+        config = _config()
+        fingerprint = enqueue_config(tmp_path, config)
+        _queue_path(tmp_path, fingerprint).write_text("{not json", encoding="utf-8")
+        summary = run_worker(tmp_path)
+        assert summary.invalid == 1
+
+    def test_done_marker_reaps_queue_entry(self, tmp_path):
+        config = _config()
+        result = run_configs([config])[0]
+        fingerprint = enqueue_config(tmp_path, config)
+        # Simulate "another worker finished while this entry waited".
+        ResultCache(tmp_path).store(config, result)
+        summary = run_worker(tmp_path)
+        assert summary.computed == 0
+        assert summary.reaped == 1
+        assert pending_fingerprints(tmp_path) == []
+        assert fingerprint == config_fingerprint(config)
+
+
+# ----------------------------------------------------------------------
+# Claim protocol
+# ----------------------------------------------------------------------
+def _race_claims(root, fingerprint, racers, out):
+    barrier = _MP.Barrier(racers)
+
+    def attempt(slot):
+        barrier.wait()
+        out[slot] = try_claim(root, fingerprint, owner=f"racer-{slot}")
+
+    processes = [
+        _MP.Process(target=attempt, args=(slot,)) for slot in range(racers)
+    ]
+    for p in processes:
+        p.start()
+    for p in processes:
+        p.join(timeout=30)
+    assert all(not p.is_alive() for p in processes)
+
+
+class TestClaimProtocol:
+    FP = "ab" + "0" * 62
+
+    def test_exactly_one_of_n_racing_claims_wins(self, tmp_path):
+        racers = 8
+        out = _MP.Manager().dict()
+        _race_claims(str(tmp_path), self.FP, racers, out)
+        wins = [slot for slot in range(racers) if out[slot]]
+        assert len(wins) == 1
+        lease = read_lease(_lease_path(tmp_path, self.FP))
+        assert lease is not None
+        assert lease.owner == f"racer-{wins[0]}"
+
+    def test_fresh_lease_blocks_other_claimants(self, tmp_path):
+        assert try_claim(tmp_path, self.FP, owner="first")
+        assert not try_claim(tmp_path, self.FP, owner="second")
+        lease = read_lease(_lease_path(tmp_path, self.FP))
+        assert lease.owner == "first"
+
+    def test_expired_ttl_lease_is_stale(self, tmp_path):
+        assert try_claim(tmp_path, self.FP, owner="first", ttl=0.05)
+        time.sleep(0.15)
+        lease = read_lease(_lease_path(tmp_path, self.FP))
+        assert lease_is_stale(lease)
+        # ... and therefore claimable by someone else.
+        assert try_claim(tmp_path, self.FP, owner="second")
+        assert read_lease(_lease_path(tmp_path, self.FP)).owner == "second"
+
+    def test_dead_pid_on_same_host_is_stale_before_ttl(self, tmp_path):
+        # A forked child that exits immediately gives a real dead pid.
+        child = _MP.Process(target=lambda: None)
+        child.start()
+        child.join()
+        path = _lease_path(tmp_path, self.FP)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        now = time.time()
+        import socket as socket_module
+
+        lease = Lease(
+            fingerprint=self.FP,
+            owner="dead",
+            host=socket_module.gethostname(),
+            pid=child.pid,
+            acquired_at=now,
+            heartbeat_at=now,  # heartbeat is fresh; only the pid is dead
+            ttl=3600.0,
+        )
+        path.write_text(lease.to_json(), encoding="utf-8")
+        assert lease_is_stale(read_lease(path))
+        assert try_claim(tmp_path, self.FP, owner="stealer")
+
+    def test_stale_lease_stolen_exactly_once(self, tmp_path):
+        path = _lease_path(tmp_path, self.FP)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        lease = Lease(
+            fingerprint=self.FP,
+            owner="dead",
+            host="elsewhere",
+            pid=1,
+            acquired_at=0.0,
+            heartbeat_at=0.0,  # epoch: expired beyond any doubt
+            ttl=1.0,
+        )
+        path.write_text(lease.to_json(), encoding="utf-8")
+        racers = 8
+        out = _MP.Manager().dict()
+        barrier = _MP.Barrier(racers)
+
+        def attempt(slot):
+            barrier.wait()
+            out[slot] = steal_lease(path)
+
+        processes = [
+            _MP.Process(target=attempt, args=(slot,)) for slot in range(racers)
+        ]
+        for p in processes:
+            p.start()
+        for p in processes:
+            p.join(timeout=30)
+        wins = [slot for slot in range(racers) if out[slot]]
+        assert len(wins) == 1
+        assert not path.exists()
+
+    def test_racing_workers_compute_each_cell_once(self, tmp_path):
+        configs = [_config(seed=s) for s in (1, 2, 3)]
+        for config in configs:
+            enqueue_config(tmp_path, config)
+        workers = 3
+        out = _MP.Manager().dict()
+        barrier = _MP.Barrier(workers)
+
+        def drain(slot):
+            barrier.wait()
+            summary = run_worker(tmp_path, idle_timeout=1.0, poll=0.05)
+            out[slot] = summary.computed
+
+        processes = [
+            _MP.Process(target=drain, args=(slot,)) for slot in range(workers)
+        ]
+        for p in processes:
+            p.start()
+        for p in processes:
+            p.join(timeout=120)
+        assert all(not p.is_alive() for p in processes)
+        # Every cell computed exactly once across the fleet...
+        assert sum(out.values()) == len(configs)
+        # ... and whatever worker computed each cell, the stored entry is
+        # byte-identical to what a serial run would have written.
+        serial_root = tmp_path / "serial-reference"
+        serial_cache = ResultCache(serial_root)
+        for config, result in zip(configs, run_configs(list(configs))):
+            serial_cache.store(config, result)
+        worker_cache = ResultCache(tmp_path)
+        for config in configs:
+            assert worker_cache.path_for(config).read_bytes() == (
+                serial_cache.path_for(config).read_bytes()
+            )
+        assert verify_cache(tmp_path).bad == 0
+
+    def test_heartbeat_keeps_long_cell_claims_fresh(self, tmp_path):
+        from repro.experiments.queue import _LeaseHeartbeat
+
+        assert try_claim(tmp_path, self.FP, owner="slow", ttl=0.4)
+        heartbeat = _LeaseHeartbeat(tmp_path, self.FP, "slow", ttl=0.4)
+        heartbeat.start()
+        try:
+            time.sleep(1.2)  # three TTLs: without heartbeats this is stale
+            lease = read_lease(_lease_path(tmp_path, self.FP))
+            assert lease is not None
+            assert not lease_is_stale(lease)
+            assert not try_claim(tmp_path, self.FP, owner="thief", ttl=0.4)
+        finally:
+            heartbeat.stop()
+
+    def test_sigkilled_workers_cell_is_stolen_and_sweep_completes(self, tmp_path):
+        config = _config()
+        fingerprint = enqueue_config(tmp_path, config)
+
+        def doomed():
+            # Claim, then die without heartbeating or releasing —
+            # exactly what SIGKILL mid-cell leaves behind.
+            try_claim(tmp_path, fingerprint, owner="doomed", ttl=0.3)
+            os._exit(0)
+
+        victim = _MP.Process(target=doomed)
+        victim.start()
+        victim.join(timeout=30)
+        lease = read_lease(_lease_path(tmp_path, fingerprint))
+        assert lease is not None and lease.owner == "doomed"
+        # The sweep steals the orphaned lease and finishes the cell.
+        stats = EngineStats()
+        results = run_configs(
+            [config],
+            cache_dir=tmp_path,
+            executor="queue",
+            stats=stats,
+        )
+        assert len(results) == 1
+        assert stats.computed == 1
+        assert ResultCache(tmp_path).load(config) is not None

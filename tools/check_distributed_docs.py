@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Fail when docs/DISTRIBUTED.md is out of sync with the distributed surface.
+
+Checks, in both directions:
+
+* every registered executor (``repro.experiments.executor.executor_names``)
+  has a ``## `name` `` catalog heading in docs/DISTRIBUTED.md, the
+  ``worker`` verb has one, and every ``faas-sched cache`` subcommand has a
+  ``## `cache <verb>` `` heading;
+* every backticked heading names a real executor, the worker verb, or a
+  real cache subcommand (no stale catalog entries);
+* every ``worker`` / ``cache`` CLI flag (introspected from
+  ``repro.cli.build_parser``) and both environment variables
+  (``REPRO_EXECUTOR``, ``REPRO_LEASE_TTL``) are mentioned somewhere in
+  the document.
+
+Run from the repository root (CI's docs job does)::
+
+    python tools/check_distributed_docs.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS = REPO_ROOT / "docs" / "DISTRIBUTED.md"
+
+#: Catalog entries look like: ## `local` or ## `cache gc`
+HEADING = re.compile(r"^##\s+`(?P<name>[^`]+)`", re.MULTILINE)
+
+#: Flags that need no documentation.
+IGNORED_FLAGS = {"-h", "--help"}
+
+
+def _subcommands(parser: argparse.ArgumentParser) -> dict[str, argparse.ArgumentParser]:
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return dict(action.choices)
+    return {}
+
+
+def _flags(parser: argparse.ArgumentParser) -> set[str]:
+    flags: set[str] = set()
+    for action in parser._actions:
+        flags.update(option for option in action.option_strings)
+    return flags - IGNORED_FLAGS
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.cli import build_parser
+    from repro.experiments.executor import EXECUTOR_ENV, executor_names
+    from repro.experiments.queue import LEASE_TTL_ENV
+
+    commands = _subcommands(build_parser())
+    cache_verbs = _subcommands(commands["cache"])
+
+    expected = set(executor_names())
+    expected.add("worker")
+    expected.update(f"cache {verb}" for verb in cache_verbs)
+
+    if not DOCS.exists():
+        print(f"error: {DOCS} does not exist", file=sys.stderr)
+        return 1
+    text = DOCS.read_text(encoding="utf-8")
+    documented = set(HEADING.findall(text))
+
+    errors = []
+    undocumented = sorted(expected - documented)
+    stale = sorted(documented - expected)
+    if undocumented:
+        errors.append(
+            "entries missing from docs/DISTRIBUTED.md: " + ", ".join(undocumented)
+        )
+    if stale:
+        errors.append(
+            "docs/DISTRIBUTED.md documents unknown entries: " + ", ".join(stale)
+        )
+
+    required_flags: set[str] = _flags(commands["worker"])
+    for verb_parser in cache_verbs.values():
+        required_flags.update(_flags(verb_parser))
+    missing_flags = sorted(flag for flag in required_flags if flag not in text)
+    if missing_flags:
+        errors.append(
+            "flags missing from docs/DISTRIBUTED.md: " + ", ".join(missing_flags)
+        )
+
+    missing_env = sorted(
+        env for env in (EXECUTOR_ENV, LEASE_TTL_ENV) if env not in text
+    )
+    if missing_env:
+        errors.append(
+            "environment variables missing from docs/DISTRIBUTED.md: "
+            + ", ".join(missing_env)
+        )
+
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    if errors:
+        return 1
+    print(
+        f"docs/DISTRIBUTED.md covers {len(expected)} catalog entries, "
+        f"{len(required_flags)} flags, and both environment variables"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Cache-lifecycle smoke (.github/workflows/ci.yml, distributed-smoke job):
+# builds two disjoint cache roots, merges one into the other, asserts the
+# merged sweep re-runs 100% from cache, then garbage-collects down to a
+# size budget and asserts exactly the oldest entry was evicted.
+set -euo pipefail
+
+a=".cache-lifecycle-a"
+b=".cache-lifecycle-b"
+rm -rf "${a}" "${b}"
+
+# Two disjoint halves of one 4-cell sweep.
+faas-sched grid --cores 4 --intensities 10 --strategies FIFO \
+  --seeds 1 2 --cache-dir "${a}" --no-progress
+faas-sched grid --cores 4 --intensities 10 --strategies SEPT \
+  --seeds 1 2 --cache-dir "${b}" --no-progress
+
+faas-sched cache stats --cache-dir "${a}" | tee stats_a.out
+grep -q "cache: 2 entries" stats_a.out
+faas-sched cache stats --cache-dir "${b}" | tee stats_b.out
+grep -q "cache: 2 entries" stats_b.out
+
+# Merge b's entries into a; the union serves the combined sweep entirely
+# from cache.
+faas-sched cache merge "${b}" "${a}" | tee merge.out
+grep -q "merge: 2 copied" merge.out
+faas-sched grid --cores 4 --intensities 10 --strategies FIFO SEPT \
+  --seeds 1 2 --cache-dir "${a}" --no-progress | tee merged_rerun.out
+grep -q "0 computed, 4 from cache" merged_rerun.out
+
+# Merging again is a no-op: every entry is already present, byte-identical.
+faas-sched cache merge "${b}" "${a}" | tee merge_again.out
+grep -q "merge: 0 copied" merge_again.out
+grep -q "2 already present" merge_again.out
+
+# GC to (total - 1) bytes: exactly the single oldest entry must go.
+total=$(find "${a}" -mindepth 2 -name '*.json' -printf '%s\n' \
+  | awk '{s+=$1} END {print s}')
+oldest=$(find "${a}" -mindepth 2 -name '*.json' -printf '%T@ %p\n' \
+  | sort -n | head -1 | cut -d' ' -f2)
+echo "total=${total} bytes, oldest=${oldest}"
+faas-sched cache gc --cache-dir "${a}" --size-budget "$((total - 1))" \
+  --dry-run | tee gc_dry.out
+grep -q "would evict 1 of 4" gc_dry.out
+test -e "${oldest}"  # dry-run deleted nothing
+faas-sched cache gc --cache-dir "${a}" --size-budget "$((total - 1))" \
+  | tee gc.out
+grep -q "evicted 1 of 4" gc.out
+grep -q "1 budget" gc.out
+test ! -e "${oldest}"
+
+# The re-run recomputes exactly the evicted cell.
+faas-sched grid --cores 4 --intensities 10 --strategies FIFO SEPT \
+  --seeds 1 2 --cache-dir "${a}" --no-progress | tee post_gc_rerun.out
+grep -q "1 computed, 3 from cache" post_gc_rerun.out
+
+if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+  {
+    echo "### Cache lifecycle smoke"
+    echo '```'
+    cat merge.out gc.out
+    grep "^engine:" merged_rerun.out post_gc_rerun.out
+    echo '```'
+  } >> "${GITHUB_STEP_SUMMARY}"
+fi
+echo "cache lifecycle OK"
