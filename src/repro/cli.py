@@ -129,7 +129,8 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="S",
         help=(
-            "wall-clock budget per grid cell in seconds (--jobs > 1 only); "
+            "wall-clock budget per grid cell in seconds (--jobs > 1, "
+            "local executor only — rejected with --executor queue); "
             "cells over budget are cancelled and reported while the rest "
             "of the sweep completes; default: $REPRO_CELL_TIMEOUT or none"
         ),

@@ -738,7 +738,10 @@ def run_configs(
         ``REPRO_CELL_TIMEOUT`` environment variable; unset or non-positive
         disables.  A cell over budget is terminated and recorded; the rest
         of the sweep completes before a :class:`WorkerError` aggregating
-        the cancelled cells is raised.
+        the cancelled cells is raised.  Local executor only: the queue
+        executor cannot enforce a per-cell deadline (its lease heartbeat
+        keeps a claimed cell alive indefinitely) and raises
+        :class:`ValueError` rather than silently ignoring one.
     executor:
         Execution backend for the pending (non-cached) cells: ``"local"``
         (the historical in-process engine) or ``"queue"`` (claim cells

@@ -55,6 +55,7 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple, Union
 
 from repro.experiments.executor import ExecutionContext, Executor, FinishedCallback
 from repro.experiments.parallel import (
+    QUARANTINE_DIR,
     AnyConfig,
     ResultCache,
     Runner,
@@ -222,7 +223,9 @@ def lease_is_stale(lease: Lease, now: Optional[float] = None) -> bool:
 
 def steal_lease(path: Path) -> bool:
     """Take a stale lease out of play; exactly one of N concurrent
-    stealers succeeds (the single winning ``os.rename``)."""
+    stealers succeeds (the single winning ``os.rename``).  A stealer
+    that crashes between the rename and the unlink leaks its tombstone;
+    :func:`_sweep_stale_tombstones` reclaims those."""
     tomb = path.with_name(f"{path.name}.stale-{uuid.uuid4().hex[:8]}")
     try:
         os.rename(path, tomb)
@@ -233,6 +236,30 @@ def steal_lease(path: Path) -> bool:
     except OSError:  # pragma: no cover - tombstone already reaped
         pass
     return True
+
+
+def _sweep_stale_tombstones(root: Path, ttl: float) -> int:
+    """Unlink steal tombstones leaked by crashed stealers.
+
+    Nothing else ever visits ``*.stale-*`` files in the claims sidecar,
+    so without this sweep they accumulate forever on long-lived shared
+    roots.  Only tombstones older than the lease TTL go — a live steal
+    completes its rename-then-unlink in microseconds, so anything that
+    old is certainly abandoned.  Returns the number removed.
+    """
+    claims = root / CLAIMS_DIR
+    if not claims.is_dir():
+        return 0
+    cutoff = time.time() - ttl
+    removed = 0
+    for path in claims.glob("*.stale-*"):
+        try:
+            if path.stat().st_mtime <= cutoff:
+                os.unlink(path)
+                removed += 1
+        except OSError:  # raced with another sweeper
+            continue
+    return removed
 
 
 def try_claim(
@@ -280,9 +307,23 @@ def try_claim(
 
 def refresh_lease(
     root: Union[str, Path], fingerprint: str, *, owner: str, ttl: float
-) -> None:
-    """Re-assert liveness: rewrite the lease with a fresh heartbeat."""
+) -> bool:
+    """Re-assert liveness: rewrite the lease with a fresh heartbeat.
+
+    Refuses — returning ``False`` — when the on-disk lease is missing or
+    names a different owner: a stalled owner whose lease was stolen and
+    re-claimed must not clobber the new claimant's lease.  The
+    read-then-write pair is not atomic, so a steal landing exactly in
+    between can still be overwritten once; the next heartbeat observes
+    the mismatch and stops.  Results stay correct either way (stores are
+    idempotent and byte-identical) — this check keeps lease ownership
+    truthful and avoids silently computing expensive cells twice.
+    """
     root = Path(root).expanduser()
+    path = _lease_path(root, fingerprint)
+    current = read_lease(path)
+    if current is None or current.owner != owner:
+        return False
     now = time.time()
     lease = Lease(
         fingerprint=fingerprint,
@@ -293,13 +334,23 @@ def refresh_lease(
         heartbeat_at=now,
         ttl=ttl,
     )
-    _atomic_write(_lease_path(root, fingerprint), lease.to_json())
+    _atomic_write(path, lease.to_json())
+    return True
 
 
-def release_lease(root: Union[str, Path], fingerprint: str) -> None:
-    """Drop a claim (best-effort: a raced steal already removed it)."""
+def release_lease(
+    root: Union[str, Path], fingerprint: str, *, owner: Optional[str] = None
+) -> None:
+    """Drop a claim (best-effort: a raced steal already removed it).
+    With ``owner`` given, only a lease still naming that owner is
+    removed — a stolen-and-re-claimed cell keeps its new lease."""
+    path = _lease_path(Path(root).expanduser(), fingerprint)
+    if owner is not None:
+        lease = read_lease(path)
+        if lease is None or lease.owner != owner:
+            return
     try:
-        os.unlink(_lease_path(Path(root).expanduser(), fingerprint))
+        os.unlink(path)
     except OSError:
         pass
 
@@ -319,9 +370,10 @@ class _LeaseHeartbeat(threading.Thread):
     def run(self) -> None:
         while not self._stop_event.wait(self.interval):
             try:
-                refresh_lease(
+                if not refresh_lease(
                     self.root, self.fingerprint, owner=self.owner, ttl=self.ttl
-                )
+                ):
+                    return  # lease stolen or released: stop asserting it
             except OSError:  # pragma: no cover - cache root vanished
                 return
 
@@ -379,6 +431,28 @@ def _reap(root: Path, fingerprint: str) -> None:
     lease = read_lease(lease_path)
     if lease is not None and lease_is_stale(lease):
         steal_lease(lease_path)
+
+
+def _quarantine_done_marker(root: Path, fingerprint: str) -> None:
+    """Move a corrupt done-marker into the quarantine sidecar (the same
+    treatment :func:`~repro.experiments.parallel.verify_cache` applies).
+
+    The marker must leave the fan-out before the cell can be re-run:
+    while it exists, :func:`enqueue_config` short-circuits and every
+    done-check keeps reporting the cell finished, so merely re-enqueueing
+    would livelock the sweep.  Falls back to unlinking when the rename
+    fails (quarantine on a read-only or full filesystem).
+    """
+    path = _done_path(root, fingerprint)
+    quarantine = root / QUARANTINE_DIR
+    try:
+        quarantine.mkdir(parents=True, exist_ok=True)
+        os.replace(path, quarantine / f"{fingerprint[:2]}-{path.name}")
+    except OSError:
+        try:
+            os.unlink(path)
+        except OSError:  # pragma: no cover - marker already gone
+            pass
 
 
 def _read_entry(path: Path) -> Optional[Dict[str, Any]]:
@@ -469,6 +543,7 @@ def run_worker(
     ttl = _resolve_ttl(lease_ttl)
     if poll <= 0:
         raise ValueError(f"poll interval must be positive, got {poll}")
+    _sweep_stale_tombstones(root, ttl)
     owner = new_owner_id()
     summary = WorkerSummary()
     started = time.monotonic()
@@ -528,7 +603,7 @@ def _scan_once(
         # store is idempotent, so recomputing is merely wasteful — but
         # one cheap re-check avoids it in the common case.
         if _done_path(root, fingerprint).exists():
-            release_lease(root, fingerprint)
+            release_lease(root, fingerprint, owner=owner)
             _reap(root, fingerprint)
             summary.reaped += 1
             progressed = True
@@ -542,7 +617,7 @@ def _scan_once(
             ResultCache(root, namespace=namespace).store(config, result)
         finally:
             heartbeat.stop()
-            release_lease(root, fingerprint)
+            release_lease(root, fingerprint, owner=owner)
         _remove_queue_entry(root, fingerprint)
         summary.computed += 1
         summary.labels.append(config.label())
@@ -579,7 +654,10 @@ class QueueExecutor(Executor):
 
     Requires a cache directory (the cache root *is* the coordination
     medium) and the default runners (a custom runner callable cannot be
-    reconstructed by a detached worker process).
+    reconstructed by a detached worker process).  Rejects
+    ``cell_timeout``: the lease heartbeat keeps a claimed cell alive for
+    as long as it runs, so a per-cell deadline cannot be enforced here
+    and is refused rather than silently ignored.
     """
 
     name = "queue"
@@ -607,6 +685,14 @@ class QueueExecutor(Executor):
                 "(--cache-dir / cache_dir=...): the shared cache root is "
                 "the work queue and the done-marker store"
             )
+        if context.cell_timeout is not None:
+            raise ValueError(
+                "the queue executor does not enforce --cell-timeout: a "
+                "claimed cell's lease heartbeat keeps it alive however "
+                "long it runs, so the per-cell deadline would be silently "
+                "ignored — drop the flag (or unset REPRO_CELL_TIMEOUT), "
+                "or use executor='local'"
+            )
         for _, _, run in pending:
             if run not in (run_experiment, run_multi_node_experiment):
                 raise ValueError(
@@ -618,6 +704,7 @@ class QueueExecutor(Executor):
         root = cache.root
         namespace = cache.namespace
         ttl = _resolve_ttl(self.lease_ttl)
+        _sweep_stale_tombstones(root, ttl)
         owner = new_owner_id()
         remaining: Dict[str, Tuple[int, AnyConfig]] = {}
         for index, config, _ in pending:
@@ -634,8 +721,13 @@ class QueueExecutor(Executor):
                         result = cache.load(config)
                         if result is None:
                             # Corrupt done-marker (e.g. torn disk write):
-                            # put the cell back in play.
+                            # quarantine it first — while it exists,
+                            # enqueue_config short-circuits and this
+                            # branch re-enters forever — then put the
+                            # cell back in play.
+                            _quarantine_done_marker(root, fingerprint)
                             enqueue_config(root, config, namespace=namespace)
+                            progressed = True
                             continue
                         _reap(root, fingerprint)
                         finished(
@@ -656,7 +748,7 @@ class QueueExecutor(Executor):
                         cache.store(config, result)
                     finally:
                         heartbeat.stop()
-                        release_lease(root, fingerprint)
+                        release_lease(root, fingerprint, owner=owner)
                     _remove_queue_entry(root, fingerprint)
                     computed_here.add(fingerprint)
                     finished(index, config, result, False)

@@ -15,6 +15,7 @@ import pytest
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.grid import GridSpec, run_grid
 from repro.experiments.parallel import (
+    QUARANTINE_DIR,
     EngineStats,
     ResultCache,
     config_fingerprint,
@@ -29,10 +30,13 @@ from repro.experiments.queue import (
     QueueExecutor,
     _lease_path,
     _queue_path,
+    _sweep_stale_tombstones,
     enqueue_config,
     lease_is_stale,
     pending_fingerprints,
     read_lease,
+    refresh_lease,
+    release_lease,
     run_worker,
     steal_lease,
     try_claim,
@@ -104,6 +108,35 @@ class TestQueueExecutor:
             run_configs(
                 [_config()], cache_dir=tmp_path, executor="queue", runner=custom
             )
+
+    def test_rejects_cell_timeout(self, tmp_path):
+        # The lease heartbeat keeps a claimed cell alive indefinitely, so
+        # a per-cell deadline cannot be enforced — it must be refused, not
+        # silently ignored.
+        with pytest.raises(ValueError, match="cell-timeout"):
+            run_configs(
+                [_config()], cache_dir=tmp_path, executor="queue", cell_timeout=5.0
+            )
+
+    def test_corrupt_done_marker_is_quarantined_and_recomputed(self, tmp_path):
+        config = _config()
+        fingerprint = config_fingerprint(config)
+        marker = tmp_path / fingerprint[:2] / f"{fingerprint}.json"
+        marker.parent.mkdir(parents=True, exist_ok=True)
+        marker.write_text("{truncated", encoding="utf-8")  # torn disk write
+        stats = EngineStats()
+        results = run_configs(
+            [config], cache_dir=tmp_path, executor="queue", stats=stats
+        )
+        # The sweep must terminate (no livelock on the unparseable marker),
+        # recompute the cell, and leave a servable entry behind.
+        assert len(results) == 1
+        assert stats.computed == 1
+        assert ResultCache(tmp_path).load(config) is not None
+        quarantined = sorted(p.name for p in (tmp_path / QUARANTINE_DIR).iterdir())
+        assert quarantined == [f"{fingerprint[:2]}-{fingerprint}.json"]
+        assert verify_cache(tmp_path).bad == 0
+        assert pending_fingerprints(tmp_path) == []
 
     def test_jobs_spawn_local_helpers(self, tmp_path):
         configs = [_config(seed=s) for s in (1, 2, 3, 4)]
@@ -313,6 +346,55 @@ class TestClaimProtocol:
             )
         assert verify_cache(tmp_path).bad == 0
 
+    def test_refresh_refuses_missing_or_foreign_lease(self, tmp_path):
+        # Missing lease: nothing to heartbeat, and none is resurrected.
+        assert not refresh_lease(tmp_path, self.FP, owner="ghost", ttl=60.0)
+        assert read_lease(_lease_path(tmp_path, self.FP)) is None
+        # Foreign lease: a stalled owner must not clobber the claimant.
+        assert try_claim(tmp_path, self.FP, owner="claimant")
+        assert not refresh_lease(tmp_path, self.FP, owner="ghost", ttl=60.0)
+        assert read_lease(_lease_path(tmp_path, self.FP)).owner == "claimant"
+        # The actual owner still heartbeats fine.
+        assert refresh_lease(tmp_path, self.FP, owner="claimant", ttl=60.0)
+
+    def test_release_with_owner_spares_foreign_lease(self, tmp_path):
+        assert try_claim(tmp_path, self.FP, owner="claimant")
+        release_lease(tmp_path, self.FP, owner="ghost")
+        assert read_lease(_lease_path(tmp_path, self.FP)).owner == "claimant"
+        release_lease(tmp_path, self.FP, owner="claimant")
+        assert read_lease(_lease_path(tmp_path, self.FP)) is None
+
+    def test_resumed_heartbeat_stops_after_lease_stolen(self, tmp_path):
+        from repro.experiments.queue import _LeaseHeartbeat
+
+        assert try_claim(tmp_path, self.FP, owner="stalled", ttl=0.2)
+        heartbeat = _LeaseHeartbeat(tmp_path, self.FP, "stalled", ttl=0.2)
+        heartbeat.start()
+        try:
+            # A stealer re-claims while the stalled owner's heartbeat is
+            # still running; the heartbeat must notice and die rather than
+            # overwrite the new lease forever.  (A non-atomic read/write
+            # pair can clobber one write, so keep re-asserting the theft.)
+            path = _lease_path(tmp_path, self.FP)
+            now = time.time()
+            thief = Lease(
+                fingerprint=self.FP,
+                owner="thief",
+                host="elsewhere",
+                pid=1,
+                acquired_at=now,
+                heartbeat_at=now,
+                ttl=3600.0,
+            )
+            deadline = time.monotonic() + 10.0
+            while heartbeat.is_alive() and time.monotonic() < deadline:
+                path.write_text(thief.to_json(), encoding="utf-8")
+                time.sleep(0.05)
+            assert not heartbeat.is_alive()
+            assert read_lease(path).owner == "thief"
+        finally:
+            heartbeat.stop()
+
     def test_heartbeat_keeps_long_cell_claims_fresh(self, tmp_path):
         from repro.experiments.queue import _LeaseHeartbeat
 
@@ -354,3 +436,39 @@ class TestClaimProtocol:
         assert len(results) == 1
         assert stats.computed == 1
         assert ResultCache(tmp_path).load(config) is not None
+
+
+class TestTombstoneSweep:
+    """A stealer that crashes between its rename and unlink leaks a
+    ``*.stale-*`` tombstone; worker/sweep startup reclaims old ones."""
+
+    def _tombstone(self, tmp_path, name, age):
+        claims = tmp_path / CLAIMS_DIR
+        claims.mkdir(parents=True, exist_ok=True)
+        path = claims / name
+        path.write_text("{}", encoding="utf-8")
+        then = time.time() - age
+        os.utime(path, (then, then))
+        return path
+
+    def test_old_tombstones_swept_young_ones_kept(self, tmp_path):
+        old = self._tombstone(
+            tmp_path, "ab" + "0" * 62 + ".lease.stale-deadbeef", age=120.0
+        )
+        # A young tombstone may belong to a steal still in flight.
+        fresh = self._tombstone(
+            tmp_path, "cd" + "0" * 62 + ".lease.stale-cafe0123", age=0.0
+        )
+        # Live leases are never touched, whatever their age.
+        assert try_claim(tmp_path, "ef" + "0" * 62, owner="live")
+        assert _sweep_stale_tombstones(tmp_path, ttl=60.0) == 1
+        assert not old.exists()
+        assert fresh.exists()
+        assert read_lease(_lease_path(tmp_path, "ef" + "0" * 62)) is not None
+
+    def test_run_worker_sweeps_on_startup(self, tmp_path):
+        old = self._tombstone(
+            tmp_path, "ab" + "0" * 62 + ".lease.stale-deadbeef", age=120.0
+        )
+        run_worker(tmp_path, lease_ttl=60.0)
+        assert not old.exists()
